@@ -1,0 +1,101 @@
+package cca
+
+import (
+	"repro/internal/approx"
+	"repro/internal/core"
+)
+
+func opt(opts *Options) Options {
+	if opts == nil {
+		return Options{}
+	}
+	return *opts
+}
+
+// Assign computes the exact optimal CCA matching with IDA (§3.3), the
+// paper's best exact algorithm. Pass nil opts for the defaults.
+func Assign(providers []Provider, customers *Customers, opts *Options) (*Result, error) {
+	return core.IDA(providers, customers.tree, opt(opts))
+}
+
+// AssignRIA computes the exact matching with the Range Incremental
+// Algorithm (§3.1).
+func AssignRIA(providers []Provider, customers *Customers, opts *Options) (*Result, error) {
+	return core.RIA(providers, customers.tree, opt(opts))
+}
+
+// AssignNIA computes the exact matching with the Nearest Neighbor
+// Incremental Algorithm (§3.2).
+func AssignNIA(providers []Provider, customers *Customers, opts *Options) (*Result, error) {
+	return core.NIA(providers, customers.tree, opt(opts))
+}
+
+// AssignSSPA computes the exact matching with the classical Successive
+// Shortest Path Algorithm on the complete bipartite graph (§2.2). It
+// reads the entire customer set into memory first; use it only as a
+// baseline on small instances.
+func AssignSSPA(providers []Provider, customers *Customers, opts *Options) (*Result, error) {
+	items, err := customers.All()
+	if err != nil {
+		return nil, err
+	}
+	return core.SSPA(providers, items, opt(opts)), nil
+}
+
+// GreedyAssign computes the (suboptimal) greedy spatial-matching join of
+// the related work (§2.3): repeatedly commit the globally closest
+// (provider, customer) pair. Fast, valid, but not cost-optimal.
+func GreedyAssign(providers []Provider, customers *Customers, opts *Options) (*Result, error) {
+	return core.SMJoin(providers, customers.tree, opt(opts))
+}
+
+// AssignHungarian computes the exact matching with the classical
+// Hungarian (Kuhn–Munkres) algorithm on a dense (Σ q.k)·|P| cost matrix
+// (§2.1). It reads all customers into memory and refuses absurdly large
+// instances — the exact limitation that motivates the paper's
+// incremental algorithms. For baselines and tiny instances only.
+func AssignHungarian(providers []Provider, customers *Customers) (*Result, error) {
+	items, err := customers.All()
+	if err != nil {
+		return nil, err
+	}
+	return core.HungarianAssign(providers, items)
+}
+
+// Refinement selects the approximation refinement heuristic (§4.3).
+type Refinement = approx.Refinement
+
+// Refinement heuristics for the approximate solvers.
+const (
+	RefineNN        = approx.RefineNN
+	RefineExclusive = approx.RefineExclusive
+)
+
+// ApproxOptions tunes the approximate solvers; see approx.Options.
+type ApproxOptions = approx.Options
+
+// ApproxResult is an approximate matching with its error bound and
+// phase timings.
+type ApproxResult = approx.Result
+
+// AssignApproxSA computes an approximate matching with the
+// Service-provider Approximation (§4.1). The assignment cost exceeds the
+// optimum by at most 2·γ·δ (Theorem 3).
+func AssignApproxSA(providers []Provider, customers *Customers, opts ApproxOptions) (*ApproxResult, error) {
+	return approx.SA(providers, customers.tree, opts)
+}
+
+// AssignApproxCA computes an approximate matching with the Customer
+// Approximation (§4.2), the paper's method of choice: typically
+// near-optimal and orders of magnitude faster than the exact solvers.
+// The assignment cost exceeds the optimum by at most γ·δ (Theorem 4).
+func AssignApproxCA(providers []Provider, customers *Customers, opts ApproxOptions) (*ApproxResult, error) {
+	return approx.CA(providers, customers.tree, opts)
+}
+
+// SAErrorBound returns Theorem 3's bound on the SA assignment cost error
+// for a matching of size gamma computed with diagonal delta.
+func SAErrorBound(gamma int, delta float64) float64 { return approx.SABound(gamma, delta) }
+
+// CAErrorBound returns Theorem 4's bound on the CA assignment cost error.
+func CAErrorBound(gamma int, delta float64) float64 { return approx.CABound(gamma, delta) }

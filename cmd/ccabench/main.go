@@ -1,0 +1,75 @@
+// Command ccabench regenerates the tables behind every figure of the
+// paper's evaluation (§5, Figures 8–18) plus the ablation studies.
+//
+// Usage:
+//
+//	ccabench -fig 9 -scale 0.1        # one figure
+//	ccabench -fig all -scale 0.05     # the whole evaluation
+//	ccabench -fig ablation            # optimization ablations
+//
+// scale proportionally shrinks |Q| and |P| (1.0 = the paper's
+// cardinalities: |Q|=1K, |P|=100K). Capacities are unscaled, preserving
+// the k·|Q| vs |P| ratios that drive every trend in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/expr"
+)
+
+func main() {
+	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", or "all"`)
+	scale := flag.Float64("scale", 0.05, "cardinality scale factor (1.0 = paper size)")
+	flag.Parse()
+
+	runners := map[string]func(float64) error{
+		"8":        wrap(expr.Fig8),
+		"9":        wrap(expr.Fig9),
+		"10":       wrap(expr.Fig10),
+		"11":       wrap(expr.Fig11),
+		"12":       wrap(expr.Fig12),
+		"13":       wrap(expr.Fig13),
+		"14":       wrap(expr.Fig14),
+		"15":       wrap(expr.Fig15),
+		"16":       wrap(expr.Fig16),
+		"17":       wrap(expr.Fig17),
+		"18":       wrap(expr.Fig18),
+		"ablation":  wrap(expr.Ablation),
+		"theta":     wrap(expr.ThetaSensitivity),
+		"baselines": wrap(expr.BaselineScaling),
+		"index":     wrap(expr.IndexPolicy),
+	}
+	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else if _, ok := runners[*fig]; ok {
+		selected = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "ccabench: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, f := range selected {
+		start := time.Now()
+		if err := runners[f](*scale); err != nil {
+			fmt.Fprintf(os.Stderr, "ccabench: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[figure %s done in %v]\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func wrap(f func(float64, io.Writer) ([]expr.Row, error)) func(float64) error {
+	return func(s float64) error {
+		_, err := f(s, os.Stdout)
+		return err
+	}
+}

@@ -1,0 +1,89 @@
+// Command ccagen generates CCA workloads: service providers (with
+// capacities) and customers placed on a synthetic road network following
+// the paper's recipe (§5.1: 80% of points in 10 dense clusters, 20%
+// uniform, normalized [0,1000]² space).
+//
+// Output is CSV. Providers: x,y,capacity. Customers: id,x,y.
+//
+//	ccagen -providers q.csv -customers p.csv -nq 1000 -np 100000 -k 80
+//	ccagen -customers p.csv -np 50000 -dist uniform -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/datagen"
+	"repro/internal/expr"
+)
+
+func main() {
+	var (
+		provPath = flag.String("providers", "", "output CSV for providers (empty: skip)")
+		custPath = flag.String("customers", "", "output CSV for customers (empty: skip)")
+		nq       = flag.Int("nq", 1000, "number of providers |Q|")
+		np       = flag.Int("np", 100000, "number of customers |P|")
+		k        = flag.Int("k", 80, "provider capacity")
+		kLo      = flag.Int("klo", 0, "mixed capacities: lower bound (with -khi)")
+		kHi      = flag.Int("khi", 0, "mixed capacities: upper bound")
+		dist     = flag.String("dist", "clustered", `distribution: "clustered" or "uniform"`)
+		seed     = flag.Int64("seed", 2008, "random seed")
+		grid     = flag.Int("grid", 32, "road network grid size")
+	)
+	flag.Parse()
+
+	if *provPath == "" && *custPath == "" {
+		fmt.Fprintln(os.Stderr, "ccagen: nothing to do; pass -providers and/or -customers")
+		os.Exit(2)
+	}
+	d := datagen.Clustered
+	switch *dist {
+	case "clustered", "C", "c":
+	case "uniform", "U", "u":
+		d = datagen.Uniform
+	default:
+		fmt.Fprintf(os.Stderr, "ccagen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	net := datagen.NewNetwork(*grid, expr.Space, *seed)
+
+	if *provPath != "" {
+		pts := net.Points(datagen.Config{N: *nq, Dist: d, Seed: *seed + 1})
+		caps := datagen.Capacities(*nq, pick(*kLo, *k), pick(*kHi, *k), *seed+3)
+		providers := make([]core.Provider, *nq)
+		for i, p := range pts {
+			providers[i] = core.Provider{Pt: p, Cap: caps[i]}
+		}
+		f, err := os.Create(*provPath)
+		fatal(err)
+		fatal(dataio.WriteProviders(f, providers))
+		fatal(f.Close())
+		fmt.Printf("wrote %d providers to %s\n", *nq, *provPath)
+	}
+	if *custPath != "" {
+		pts := net.Points(datagen.Config{N: *np, Dist: d, Seed: *seed + 2})
+		f, err := os.Create(*custPath)
+		fatal(err)
+		fatal(dataio.WriteCustomers(f, datagen.Items(pts)))
+		fatal(f.Close())
+		fmt.Printf("wrote %d customers to %s\n", *np, *custPath)
+	}
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccagen:", err)
+		os.Exit(1)
+	}
+}

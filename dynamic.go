@@ -1,0 +1,40 @@
+package cca
+
+import (
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// DynamicMatcher maintains a minimum-cost maximum matching as customers
+// arrive one by one — the incremental-assignment extension referenced by
+// the paper's related work ([11]) and future-work section. Each arrival
+// is handled with a single shortest augmenting path (or, once capacity
+// is exhausted, a single improving swap), so the matching after every
+// prefix of arrivals is exactly what the batch solver would compute.
+//
+// It holds the bipartite graph in memory and is meant for online,
+// moderate-|P| workloads; use Assign for the disk-resident batch setting.
+type DynamicMatcher struct {
+	m *core.DynamicMatcher
+}
+
+// NewDynamicMatcher starts an empty matching over the given providers.
+func NewDynamicMatcher(providers []Provider) *DynamicMatcher {
+	return &DynamicMatcher{m: core.NewDynamicMatcher(providers)}
+}
+
+// Arrive adds a customer and restores optimality. It reports whether the
+// customer is matched right now (later arrivals may re-route or evict
+// it).
+func (d *DynamicMatcher) Arrive(pt Point, id int64) (bool, error) {
+	return d.m.Arrive(geo.Point{X: pt.X, Y: pt.Y}, id)
+}
+
+// Matching returns the current optimal matching.
+func (d *DynamicMatcher) Matching() *Result { return d.m.Matching() }
+
+// Size returns the current matching size.
+func (d *DynamicMatcher) Size() int { return d.m.Size() }
+
+// Cost returns the current Ψ(M).
+func (d *DynamicMatcher) Cost() float64 { return d.m.Cost() }

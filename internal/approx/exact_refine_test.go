@@ -1,0 +1,118 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/rtree"
+)
+
+// Exact refinement must never be worse than either heuristic on the same
+// group (it solves the group's assignment optimally).
+func TestRefineExactDominatesHeuristics(t *testing.T) {
+	in := genInstance(t, 6, 150, 12, 611)
+	costs := map[Refinement]float64{}
+	for _, method := range []Refinement{RefineNN, RefineExclusive, RefineExact} {
+		res, err := CA(in.providers, in.tree, Options{Delta: 40, Refinement: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValidApprox(t, in, res)
+		costs[method] = res.Cost
+	}
+	if costs[RefineExact] > costs[RefineNN]+1e-6 {
+		t.Errorf("exact refinement (%v) worse than NN (%v)", costs[RefineExact], costs[RefineNN])
+	}
+	if costs[RefineExact] > costs[RefineExclusive]+1e-6 {
+		t.Errorf("exact refinement (%v) worse than exclusive (%v)", costs[RefineExact], costs[RefineExclusive])
+	}
+	// And it still respects the Theorem 4 bound against the true optimum.
+	opt := in.optimal()
+	if costs[RefineExact] > opt+CABound(in.gamma(), 40)+1e-6 {
+		t.Errorf("exact refinement exceeds Theorem 4 bound")
+	}
+}
+
+// refineExact on a single group must reproduce the Hungarian optimum and
+// respect budgets.
+func TestRefineExactUnit(t *testing.T) {
+	providers := []core.Provider{
+		{Pt: geo.Point{X: 0, Y: 0}, Cap: 9},
+		{Pt: geo.Point{X: 10, Y: 0}, Cap: 9},
+	}
+	customers := []rtree.Item{
+		{ID: 0, Pt: geo.Point{X: 3, Y: 0}},
+		{ID: 1, Pt: geo.Point{X: 7, Y: 0}},
+		{ID: 2, Pt: geo.Point{X: 1, Y: 0}},
+	}
+	var out []core.Pair
+	refineExact(providers, []int{1, 2}, customers, &out)
+	if len(out) != 3 {
+		t.Fatalf("assigned %d of 3", len(out))
+	}
+	counts := map[int]int{}
+	total := 0.0
+	for _, p := range out {
+		counts[p.Provider]++
+		total += p.Dist
+		if p.CustomerPt == (geo.Point{}) {
+			t.Fatal("CustomerPt not filled")
+		}
+	}
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("budgets violated: %v", counts)
+	}
+	// Optimal under budgets (1,2): q1<-c2 (1), q2<-c1 (3), q2<-c0 (7) = 11.
+	if math.Abs(total-11) > 1e-9 {
+		t.Fatalf("total %v want 11", total)
+	}
+
+	// Empty inputs are no-ops.
+	var empty []core.Pair
+	refineExact(providers, []int{0, 0}, customers, &empty)
+	if len(empty) != 0 {
+		t.Fatal("zero budgets must assign nothing")
+	}
+	refineExact(providers, []int{1, 1}, nil, &empty)
+	if len(empty) != 0 {
+		t.Fatal("no customers must assign nothing")
+	}
+}
+
+// More provider slots than customers exercises the transposed matrix.
+func TestRefineExactTransposed(t *testing.T) {
+	providers := []core.Provider{
+		{Pt: geo.Point{X: 0, Y: 0}, Cap: 9},
+		{Pt: geo.Point{X: 10, Y: 0}, Cap: 9},
+	}
+	customers := []rtree.Item{{ID: 0, Pt: geo.Point{X: 9, Y: 0}}}
+	var out []core.Pair
+	refineExact(providers, []int{3, 3}, customers, &out)
+	if len(out) != 1 || out[0].Provider != 1 {
+		t.Fatalf("want single assignment to the near provider, got %+v", out)
+	}
+}
+
+// All refinements must fill CustomerPt (regression: heuristics used to
+// leave it zero).
+func TestRefinementsFillCustomerPt(t *testing.T) {
+	in := genInstance(t, 4, 60, 8, 613)
+	for _, method := range []Refinement{RefineNN, RefineExclusive, RefineExact} {
+		for _, run := range []func() (*Result, error){
+			func() (*Result, error) { return CA(in.providers, in.tree, Options{Delta: 30, Refinement: method}) },
+			func() (*Result, error) { return SA(in.providers, in.tree, Options{Delta: 50, Refinement: method}) },
+		} {
+			res, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range res.Pairs {
+				if p.CustomerPt != in.items[p.CustomerID].Pt {
+					t.Fatalf("%v: CustomerPt %v != actual %v", method, p.CustomerPt, in.items[p.CustomerID].Pt)
+				}
+			}
+		}
+	}
+}

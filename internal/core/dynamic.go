@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/flowgraph"
+	"repro/internal/geo"
+)
+
+// DynamicMatcher maintains an optimal CCA matching under customer
+// arrivals — the incremental assignment extension the paper points to in
+// its related work ([11], Toroslu & Üçoluk: Incremental Assignment
+// Problem) and future-work discussion.
+//
+// The successive-shortest-path invariant makes this cheap: if the
+// current matching is a minimum-cost maximum matching and a new customer
+// node is added, augmenting along one shortest path (when capacity
+// remains) restores optimality — no recomputation over the previous
+// customers is needed. Each arrival therefore costs one Dijkstra run on
+// the residual graph instead of a full solve.
+//
+// The matcher keeps the full bipartite graph in memory (complete mode),
+// so it suits the moderate |P| of online scenarios rather than the
+// disk-resident batch setting of RIA/NIA/IDA.
+type DynamicMatcher struct {
+	g     *flowgraph.Graph
+	slots int // remaining provider capacity
+}
+
+// NewDynamicMatcher starts an empty matching over the given providers.
+func NewDynamicMatcher(providers []Provider) *DynamicMatcher {
+	g := flowgraph.NewGraph(flowProviders(providers), true)
+	// Arrivals invalidate potential-based reduced costs (a fresh
+	// customer's incident edges can be negative under old potentials),
+	// so the matcher searches with label-correcting Bellman-Ford over
+	// raw costs instead.
+	g.DisablePotentials()
+	total := 0
+	for _, p := range providers {
+		total += p.Cap
+	}
+	return &DynamicMatcher{g: g, slots: total}
+}
+
+// Arrive adds a customer and restores optimality. While provider
+// capacity remains, the new customer is matched along one shortest
+// augmenting path. Once capacity is exhausted the matching size cannot
+// grow, but the arrival can still improve its composition: Arrive then
+// cancels the minimum-cost residual cycle through the new customer,
+// which (when negative) swaps out a more expensive customer. Either way
+// the matching stays a minimum-cost maximum matching over everything
+// that has arrived so far.
+//
+// The returned flag reports whether this customer is matched right now;
+// later arrivals may re-route or even evict it (fetch the current state
+// with Matching).
+func (m *DynamicMatcher) Arrive(pt geo.Point, id int64) (bool, error) {
+	c := m.g.AddCustomer(pt, 1, id)
+	if m.slots == 0 {
+		return m.g.SwapArrival(c)
+	}
+	if _, _, ok := m.g.SearchLabelCorrecting(); !ok {
+		return false, nil
+	}
+	if err := m.g.Augment(); err != nil {
+		return false, err
+	}
+	m.slots--
+	return true, nil
+}
+
+// Matching returns the current optimal matching.
+func (m *DynamicMatcher) Matching() *Result {
+	return finish(m.g, Metrics{})
+}
+
+// Size returns the current matching size.
+func (m *DynamicMatcher) Size() int { return m.g.AssignedCount() }
+
+// Cost returns the current Ψ(M).
+func (m *DynamicMatcher) Cost() float64 { return m.g.Cost() }

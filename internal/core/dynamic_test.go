@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flowgraph"
+	"repro/internal/geo"
+)
+
+// Online arrivals must reproduce the batch optimum after every prefix —
+// the successive-shortest-path invariant that makes DynamicMatcher
+// correct.
+func TestDynamicMatchesBatchOnEveryPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	providers := randDynProviders(4, 3, rng)
+	m := NewDynamicMatcher(providers)
+	var arrived []flowgraph.Customer
+	for i := 0; i < 30; i++ {
+		pt := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		arrived = append(arrived, flowgraph.Customer{Pt: pt, Cap: 1, ExtID: int64(i)})
+		matched, err := m.Arrive(pt, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 12 && !matched { // 4 providers × cap 3: capacity remains
+			t.Fatalf("arrival %d should always match", i)
+		}
+		if size := m.Size(); size != min(i+1, 12) {
+			t.Fatalf("arrival %d: size %d want %d", i, size, min(i+1, 12))
+		}
+		_, wantCost := flowgraph.RefSolve(flowProviders(providers), arrived)
+		if math.Abs(m.Cost()-wantCost) > 1e-6*(1+wantCost) {
+			t.Fatalf("after %d arrivals: cost %v want %v", i+1, m.Cost(), wantCost)
+		}
+	}
+}
+
+func randDynProviders(n, k int, rng *rand.Rand) []Provider {
+	out := make([]Provider, n)
+	for i := range out {
+		out[i] = Provider{
+			Pt:  geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Cap: k,
+		}
+	}
+	return out
+}
+
+// Property: for random instances and arrival orders, the final dynamic
+// matching equals the batch optimum.
+func TestDynamicOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		providers := randDynProviders(2+rng.Intn(4), 1+rng.Intn(3), rng)
+		n := 5 + rng.Intn(20)
+		customers := make([]flowgraph.Customer, n)
+		for i := range customers {
+			customers[i] = flowgraph.Customer{
+				Pt:    geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				Cap:   1,
+				ExtID: int64(i),
+			}
+		}
+		m := NewDynamicMatcher(providers)
+		for _, i := range rng.Perm(n) {
+			if _, err := m.Arrive(customers[i].Pt, customers[i].ExtID); err != nil {
+				return false
+			}
+		}
+		_, wantCost := flowgraph.RefSolve(flowProviders(providers), customers)
+		return math.Abs(m.Cost()-wantCost) <= 1e-6*(1+wantCost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The matching snapshot must validate like any batch result.
+func TestDynamicMatchingSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	providers := randDynProviders(3, 2, rng)
+	m := NewDynamicMatcher(providers)
+	for i := 0; i < 10; i++ {
+		if _, err := m.Arrive(geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := m.Matching()
+	if res.Size != 6 || m.Size() != 6 {
+		t.Fatalf("size %d want 6", res.Size)
+	}
+	used := map[int]int{}
+	seen := map[int64]bool{}
+	for _, p := range res.Pairs {
+		used[p.Provider]++
+		if seen[p.CustomerID] {
+			t.Fatal("duplicate customer")
+		}
+		seen[p.CustomerID] = true
+	}
+	for q, u := range used {
+		if u > providers[q].Cap {
+			t.Fatalf("provider %d over capacity", q)
+		}
+	}
+	if math.Abs(res.Cost-m.Cost()) > 1e-9 {
+		t.Fatalf("snapshot cost %v != matcher cost %v", res.Cost, m.Cost())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hungarian"
+	"repro/internal/rtree"
+)
+
+// maxHungarianCells caps the dense cost matrix the Hungarian reduction
+// materializes — the very limitation §2.1 describes ("the matrix may not
+// fit in main memory"). 64M float64 cells ≈ 512 MB.
+const maxHungarianCells = 64 << 20
+
+// HungarianAssign solves CCA with the classical Hungarian (Kuhn–Munkres)
+// algorithm of §2.1 [8]: each provider is replicated once per unit of
+// capacity, yielding a one-to-one assignment instance on a dense
+// (Σ q.k)·|P| cost matrix. Exact, but Θ(n³) time and Θ(n·m) memory — the
+// baseline the paper dismisses as "limited to small problem instances".
+// It exists to reproduce that claim; use IDA for real workloads.
+func HungarianAssign(providers []Provider, customers []rtree.Item) (*Result, error) {
+	start := time.Now()
+	slots := 0
+	for _, p := range providers {
+		slots += p.Cap
+	}
+	nc := len(customers)
+	if slots == 0 || nc == 0 {
+		return &Result{Metrics: Metrics{CPUTime: time.Since(start)}}, nil
+	}
+	if int64(slots)*int64(nc) > maxHungarianCells {
+		return nil, fmt.Errorf(
+			"core: Hungarian reduction needs a %d x %d matrix (%d cells > %d): exactly the blow-up §2.1 warns about — use IDA",
+			slots, nc, int64(slots)*int64(nc), maxHungarianCells)
+	}
+
+	// slotOwner maps a replicated row/column back to its provider.
+	slotOwner := make([]int, 0, slots)
+	for qi, p := range providers {
+		for i := 0; i < p.Cap; i++ {
+			slotOwner = append(slotOwner, qi)
+		}
+	}
+
+	// Hungarian needs rows <= columns; orient the matrix accordingly.
+	rowsAreCustomers := nc <= slots
+	var rows, cols int
+	if rowsAreCustomers {
+		rows, cols = nc, slots
+	} else {
+		rows, cols = slots, nc
+	}
+	cost := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		cost[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			var qi, ci int
+			if rowsAreCustomers {
+				ci, qi = r, slotOwner[c]
+			} else {
+				qi, ci = slotOwner[r], c
+			}
+			cost[r][c] = providers[qi].Pt.Dist(customers[ci].Pt)
+		}
+	}
+	assign, total, err := hungarian.Solve(cost)
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := make([]Pair, 0, rows)
+	for r, c := range assign {
+		var qi, ci int
+		if rowsAreCustomers {
+			ci, qi = r, slotOwner[c]
+		} else {
+			qi, ci = slotOwner[r], c
+		}
+		pairs = append(pairs, Pair{
+			Provider:   qi,
+			CustomerID: customers[ci].ID,
+			CustomerPt: customers[ci].Pt,
+			Dist:       providers[qi].Pt.Dist(customers[ci].Pt),
+		})
+	}
+	return &Result{
+		Pairs: pairs,
+		Cost:  total,
+		Size:  len(pairs),
+		Metrics: Metrics{
+			SubgraphEdges:  slots * nc,
+			FullGraphEdges: len(providers) * nc,
+			CPUTime:        time.Since(start),
+		},
+	}, nil
+}

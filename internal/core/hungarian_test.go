@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/flowgraph"
+	"repro/internal/geo"
+	"repro/internal/rtree"
+)
+
+// The Hungarian reduction must match the flow-based optimum exactly.
+func TestHungarianMatchesOptimal(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := genInstance(t, 3, 25, 4, 700+seed) // slots=12 < |P|=25
+		res, err := HungarianAssign(in.providers, in.items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in.refCost()
+		if math.Abs(res.Cost-want) > 1e-6*(1+want) {
+			t.Fatalf("seed %d: Hungarian cost %v want %v", seed, res.Cost, want)
+		}
+		if res.Size != 12 {
+			t.Fatalf("size %d want 12", res.Size)
+		}
+		checkValid(t, in, res, 12)
+	}
+}
+
+// Over-capacitated orientation (|P| < slots) exercises the transposed
+// matrix path.
+func TestHungarianOverCapacitated(t *testing.T) {
+	in := genInstance(t, 3, 10, 6, 800) // slots=18 > |P|=10
+	res, err := HungarianAssign(in.providers, in.items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.refCost()
+	if math.Abs(res.Cost-want) > 1e-6*(1+want) {
+		t.Fatalf("cost %v want %v", res.Cost, want)
+	}
+	if res.Size != 10 {
+		t.Fatalf("size %d want 10", res.Size)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	res, err := HungarianAssign(nil, nil)
+	if err != nil || res.Size != 0 {
+		t.Fatalf("empty: %v %+v", err, res)
+	}
+	res, err = HungarianAssign([]Provider{{Pt: geo.Point{X: 1, Y: 1}, Cap: 2}}, nil)
+	if err != nil || res.Size != 0 {
+		t.Fatalf("no customers: %v %+v", err, res)
+	}
+}
+
+// The §2.1 blow-up guard: absurd matrix sizes are refused with a clear
+// error instead of exhausting memory.
+func TestHungarianRefusesHugeMatrix(t *testing.T) {
+	providers := []Provider{{Pt: geo.Point{X: 0, Y: 0}, Cap: 100000}}
+	items := make([]rtree.Item, 100000)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), Pt: geo.Point{X: float64(i % 1000), Y: float64(i / 1000)}}
+	}
+	_, err := HungarianAssign(providers, items)
+	if err == nil || !strings.Contains(err.Error(), "IDA") {
+		t.Fatalf("expected the matrix blow-up refusal, got %v", err)
+	}
+}
+
+// Hungarian must agree with SSPA and respect customer uniqueness when
+// providers coincide (degenerate distances).
+func TestHungarianDegenerate(t *testing.T) {
+	providers := []Provider{
+		{Pt: geo.Point{X: 5, Y: 5}, Cap: 2},
+		{Pt: geo.Point{X: 5, Y: 5}, Cap: 2},
+	}
+	items := []rtree.Item{
+		{ID: 0, Pt: geo.Point{X: 5, Y: 6}},
+		{ID: 1, Pt: geo.Point{X: 5, Y: 4}},
+		{ID: 2, Pt: geo.Point{X: 6, Y: 5}},
+	}
+	res, err := HungarianAssign(providers, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	customers := make([]flowgraph.Customer, len(items))
+	for i, it := range items {
+		customers[i] = flowgraph.Customer{Pt: it.Pt, Cap: 1, ExtID: it.ID}
+	}
+	_, want := flowgraph.RefSolve(flowProviders(providers), customers)
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Fatalf("cost %v want %v", res.Cost, want)
+	}
+	seen := map[int64]bool{}
+	for _, p := range res.Pairs {
+		if seen[p.CustomerID] {
+			t.Fatal("customer assigned twice")
+		}
+		seen[p.CustomerID] = true
+	}
+}

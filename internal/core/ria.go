@@ -1,0 +1,83 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/flowgraph"
+	"repro/internal/rtree"
+)
+
+// RIA solves CCA with the Range Incremental Algorithm (§3.1, Algorithm
+// 2). It seeds Esub with a T-range search around every provider
+// (T starts at θ) and runs SSPA iterations on the subgraph; whenever the
+// shortest path fails the Theorem 1 test (cost > T − τmax), the range is
+// extended by θ through annular searches and the iteration retried.
+func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	io := snapshotIO(tree.Buffer())
+
+	g := flowgraph.NewGraph(flowProviders(providers), false)
+	g.SetPairCapacity(opts.PairCapacity)
+	custIdx := make(map[int64]int32)
+	m := Metrics{FullGraphEdges: len(providers) * tree.Size()}
+
+	ensure := func(it rtree.Item) int32 {
+		if idx, ok := custIdx[it.ID]; ok {
+			return idx
+		}
+		idx := g.AddCustomer(it.Pt, opts.CustomerCap(it.ID), it.ID)
+		custIdx[it.ID] = idx
+		return idx
+	}
+	// addAnnulus inserts all edges (q, p) with dist in (lo, hi].
+	addAnnulus := func(lo, hi float64) error {
+		for q := range providers {
+			m.RangeSearches++
+			items, err := tree.AnnularRange(providers[q].Pt, lo, hi)
+			if err != nil {
+				return err
+			}
+			for _, it := range items {
+				g.AddEdge(int32(q), ensure(it))
+			}
+		}
+		return nil
+	}
+
+	gamma, err := gammaFor(providers, tree, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	T := opts.Theta
+	if err := addAnnulus(-1, T); err != nil {
+		return nil, err
+	}
+	maxEdges := len(providers) * tree.Size()
+	for done := 0; done < gamma; {
+		g.BeginIteration()
+		_, cost, ok := g.Search()
+		complete := g.EdgeCount() >= maxEdges
+		if ok && (complete || cost <= T-g.TauMax()+validityEps) {
+			if err := g.Augment(); err != nil {
+				return nil, err
+			}
+			done++
+			continue
+		}
+		if complete {
+			break // Esub is the full graph and no augmenting path remains
+		}
+		// Extend the search range by θ (Lines 12-15).
+		if err := addAnnulus(T, T+opts.Theta); err != nil {
+			return nil, err
+		}
+		T += opts.Theta
+	}
+
+	m.CPUTime = time.Since(start)
+	m.IO = io.delta()
+	m.IOTime = m.IO.IOTime()
+	return finish(g, m), nil
+}

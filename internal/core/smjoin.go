@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/pqueue"
+	"repro/internal/rtree"
+)
+
+// SMJoin computes the greedy spatial matching join of the related work
+// (§2.3, [12,14]): it repeatedly commits the globally closest
+// (provider, customer) pair among providers with remaining capacity and
+// unassigned customers. SM performs local assignments and does not
+// minimize the global cost Ψ(M) — the quality-ablation benchmark
+// contrasts it with the optimal CCA matching.
+func SMJoin(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	io := snapshotIO(tree.Buffer())
+	m := Metrics{FullGraphEdges: len(providers) * tree.Size()}
+
+	pts := make([]geo.Point, len(providers))
+	for i, p := range providers {
+		pts[i] = p.Pt
+	}
+	var nn rtree.NNSource
+	if opts.DisableANN {
+		nn = rtree.NewPerQueryNN(tree, pts)
+	} else {
+		nn = rtree.NewANNSearch(tree, pts, opts.Space, opts.ANNGroupSize)
+	}
+
+	gamma, err := gammaFor(providers, tree, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	type cand struct {
+		q    int
+		item rtree.Item
+	}
+	var h pqueue.Heap[cand]
+	push := func(q int) error {
+		item, d, ok, err := nn.Next(q)
+		if err != nil {
+			return err
+		}
+		if ok {
+			m.NNRetrievals++
+			h.Push(cand{q: q, item: item}, d)
+		}
+		return nil
+	}
+	for q := range providers {
+		if err := push(q); err != nil {
+			return nil, err
+		}
+	}
+
+	assigned := make(map[int64]bool)
+	remaining := make([]int, len(providers))
+	for i, p := range providers {
+		remaining[i] = p.Cap
+	}
+	var pairs []Pair
+	cost := 0.0
+	for len(pairs) < gamma && h.Len() > 0 {
+		top := h.Pop()
+		c := top.Value
+		if remaining[c.q] == 0 {
+			continue // provider already full: drop its candidate stream
+		}
+		if assigned[c.item.ID] {
+			// Customer taken by a closer pair; advance this provider.
+			if err := push(c.q); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pairs = append(pairs, Pair{Provider: c.q, CustomerID: c.item.ID, CustomerPt: c.item.Pt, Dist: top.Key()})
+		cost += top.Key()
+		assigned[c.item.ID] = true
+		remaining[c.q]--
+		if remaining[c.q] > 0 {
+			if err := push(c.q); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	m.CPUTime = time.Since(start)
+	m.IO = io.delta()
+	m.IOTime = m.IO.IOTime()
+	return &Result{Pairs: pairs, Cost: cost, Size: len(pairs), Metrics: m}, nil
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+var space = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+
+func TestNetworkStructure(t *testing.T) {
+	n := NewNetwork(20, space, 1)
+	if len(n.Nodes) != 400 {
+		t.Fatalf("nodes = %d want 400", len(n.Nodes))
+	}
+	// ~85% of the 2*20*19 lattice edges should survive.
+	maxEdges := 2 * 20 * 19
+	if len(n.Edges) < maxEdges/2 || len(n.Edges) > maxEdges {
+		t.Fatalf("edges = %d out of plausible range (max %d)", len(n.Edges), maxEdges)
+	}
+	for _, pt := range n.Nodes {
+		if !space.Contains(pt) {
+			t.Fatalf("node %v escapes the space", pt)
+		}
+	}
+	for _, e := range n.Edges {
+		if e[0] == e[1] {
+			t.Fatal("self-loop edge")
+		}
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	a := NewNetwork(10, space, 42)
+	b := NewNetwork(10, space, 42)
+	if len(a.Edges) != len(b.Edges) || a.Nodes[7] != b.Nodes[7] {
+		t.Fatal("same seed must give the same network")
+	}
+	c := NewNetwork(10, space, 43)
+	if len(a.Edges) == len(c.Edges) && a.Nodes[7] == c.Nodes[7] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPointsOnEdges(t *testing.T) {
+	n := NewNetwork(15, space, 2)
+	pts := n.Points(Config{N: 500, Dist: Uniform, Seed: 3})
+	if len(pts) != 500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Every point must lie on some edge segment (within tolerance).
+	for _, p := range pts {
+		onEdge := false
+		for _, e := range n.Edges {
+			a, b := n.Nodes[e[0]], n.Nodes[e[1]]
+			// distance from p to segment ab
+			if distToSegment(p, a, b) < 1e-9 {
+				onEdge = true
+				break
+			}
+		}
+		if !onEdge {
+			t.Fatalf("point %v not on any edge", p)
+		}
+	}
+}
+
+func distToSegment(p, a, b geo.Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	apx, apy := p.X-a.X, p.Y-a.Y
+	len2 := abx*abx + aby*aby
+	t := 0.0
+	if len2 > 0 {
+		t = (apx*abx + apy*aby) / len2
+	}
+	t = math.Max(0, math.Min(1, t))
+	proj := geo.Point{X: a.X + t*abx, Y: a.Y + t*aby}
+	return p.Dist(proj)
+}
+
+// Clustered generation must be visibly denser than uniform: the average
+// nearest-neighbor distance should be clearly smaller.
+func TestClusteredIsDenser(t *testing.T) {
+	n := NewNetwork(25, space, 5)
+	clustered := n.Points(Config{N: 1000, Dist: Clustered, Seed: 7})
+	uniform := n.Points(Config{N: 1000, Dist: Uniform, Seed: 7})
+	if avgNNDist(clustered) >= avgNNDist(uniform)*0.8 {
+		t.Fatalf("clustered NN dist %.2f not clearly denser than uniform %.2f",
+			avgNNDist(clustered), avgNNDist(uniform))
+	}
+}
+
+func avgNNDist(pts []geo.Point) float64 {
+	total := 0.0
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(pts))
+}
+
+func TestItems(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	items := Items(pts)
+	if len(items) != 2 || items[0].ID != 0 || items[1].ID != 1 || items[1].Pt != pts[1] {
+		t.Fatalf("Items mismatch: %+v", items)
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	fixed := Capacities(5, 80, 80, 1)
+	for _, k := range fixed {
+		if k != 80 {
+			t.Fatalf("fixed capacities: %v", fixed)
+		}
+	}
+	mixed := Capacities(1000, 40, 120, 2)
+	lo, hi := 1<<30, 0
+	for _, k := range mixed {
+		if k < 40 || k > 120 {
+			t.Fatalf("capacity %d out of [40,120]", k)
+		}
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+	}
+	if lo > 45 || hi < 115 {
+		t.Fatalf("mixed capacities poorly spread: [%d,%d]", lo, hi)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Clustered.String() != "C" || Uniform.String() != "U" {
+		t.Fatal("distribution labels changed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	n := NewNetwork(10, space, 9)
+	pts := n.Points(Config{N: 100, Seed: 1}) // all defaults: clustered
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+}

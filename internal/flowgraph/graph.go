@@ -1,0 +1,346 @@
+// Package flowgraph implements the residual bipartite flow graph that
+// underlies every CCA algorithm in the paper (§2.1–§2.2), with the
+// spatial extensions of §3:
+//
+//   - node potentials τ and reduced-cost Dijkstra, following the paper's
+//     convention w(u,v) = c(u,v) − u.τ + v.τ with c = +dist on forward
+//     (q→p) edges, −dist on reversed (p→q) edges, and 0 on source/sink
+//     edges;
+//   - incremental edge insertion, so the subgraph Esub grows on demand
+//     (Theorem 1 gating is performed by the callers in internal/core);
+//   - the Path Update Algorithm (PUA, §3.4.1), which repairs the current
+//     Dijkstra state after an edge insertion instead of restarting;
+//   - customer-side capacities, needed by the CA approximation whose
+//     customer representatives carry weights (§4.2);
+//   - an implicit complete-bipartite mode for the SSPA baseline, which
+//     visits every (q,p) pair without materializing O(|Q|·|P|) edges.
+//
+// The graph is deliberately source/sink-free in memory: an s→q edge is
+// represented by the provider's remaining capacity, and a p→t edge by the
+// customer's remaining capacity, since no s→t shortest path ever re-enters
+// s or leaves t.
+package flowgraph
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// NodeID identifies a graph node: providers occupy [0, NumProviders),
+// customers follow at NumProviders + customerIndex.
+type NodeID = int32
+
+// sourceNode is the prev-pointer sentinel for paths starting at s.
+const sourceNode NodeID = -1
+
+// Provider is a service provider q with capacity Cap (q.k in the paper).
+type Provider struct {
+	Pt  geo.Point
+	Cap int
+}
+
+// Customer is a customer p. Cap is 1 in the exact algorithms; the CA
+// approximation uses representatives with Cap > 1 (§4.2). ExtID carries
+// the caller's identifier through to the matching.
+type Customer struct {
+	Pt    geo.Point
+	Cap   int
+	ExtID int64
+}
+
+// Pair is one (q, p) assignment in the matching, with its Euclidean
+// distance (the pair's contribution to Ψ(M), Equation 1).
+type Pair struct {
+	Provider int       // provider index
+	Customer int       // customer index within the graph
+	CustID   int64     // caller's customer identifier
+	CustPt   geo.Point // customer location
+	Dist     float64
+}
+
+// halfEdge is a forward bipartite edge q→p stored in a provider's
+// adjacency list.
+type halfEdge struct {
+	cust int32
+	dist float64
+}
+
+// Stats counts the work the graph performed.
+type Stats struct {
+	Dijkstras   int // full searches started (BeginIteration calls)
+	Resumes     int // resumed searches after edge insertions
+	Pops        int // nodes finalized across all searches
+	Relaxations int // edges relaxed across all searches
+	Repairs     int // PUA repair propagations
+}
+
+// Graph is the (residual) flow graph state.
+type Graph struct {
+	providers []Provider
+	customers []Customer
+	provUsed  []int // flow on e(s,q)
+	custUsed  []int // flow on e(p,t)
+
+	// assigned[c] lists the providers customer c is currently assigned
+	// to (each at most once); it encodes the reversed residual edges.
+	assigned [][]int32
+	// assignedLen[c] is the largest edge length among c's assignments;
+	// used to derive potentials when IDA leaves the Theorem 2 regime
+	// (§3.3).
+	assignedLen []float64
+
+	adj       [][]halfEdge // Esub: forward adjacency per provider
+	edgeCount int
+	complete  bool // implicit complete bipartite graph (SSPA baseline)
+	pairCap   int  // max instances per (q,p) pair; 0 means 1 (the paper's
+	// exact setting). CA's concise matching uses an unbounded pair
+	// capacity so one customer representative can send several of its
+	// instances to the same provider (§4.2).
+
+	tau    []float64 // node potentials, indexed by NodeID
+	sTau   float64   // potential of the source
+	tauMax float64   // max provider potential (Theorem 1's τmax)
+
+	// lastAlpha persists each provider's most recent finalized Dijkstra
+	// distance; IDA keys heap entries of full providers by it (§3.3).
+	lastAlpha []float64
+
+	// noPotentials pins every τ at zero; shortest paths must then be
+	// found with SearchLabelCorrecting (see spfa.go).
+	noPotentials bool
+
+	search searchState
+	stats  Stats
+}
+
+// NewGraph creates a graph over the given providers. When complete is
+// true the graph behaves as the full bipartite graph over all customers
+// added so far (SSPA baseline); otherwise only explicitly added edges
+// exist (the incremental algorithms).
+func NewGraph(providers []Provider, complete bool) *Graph {
+	g := &Graph{
+		providers: providers,
+		provUsed:  make([]int, len(providers)),
+		adj:       make([][]halfEdge, len(providers)),
+		tau:       make([]float64, len(providers)),
+		lastAlpha: make([]float64, len(providers)),
+		complete:  complete,
+	}
+	for i := range g.lastAlpha {
+		g.lastAlpha[i] = 0
+	}
+	g.search.init(len(providers))
+	return g
+}
+
+// NumProviders returns |Q|.
+func (g *Graph) NumProviders() int { return len(g.providers) }
+
+// NumCustomers returns the number of customers currently in the graph.
+func (g *Graph) NumCustomers() int { return len(g.customers) }
+
+// EdgeCount returns |Esub|, the number of bipartite edges inserted.
+// In complete mode it returns |Q|·|P|.
+func (g *Graph) EdgeCount() int {
+	if g.complete {
+		return len(g.providers) * len(g.customers)
+	}
+	return g.edgeCount
+}
+
+// Stats returns the accumulated work counters.
+func (g *Graph) Stats() Stats { return g.stats }
+
+// TotalCapacity returns Σ q.k over all providers.
+func (g *Graph) TotalCapacity() int {
+	total := 0
+	for _, p := range g.providers {
+		total += p.Cap
+	}
+	return total
+}
+
+// AddCustomer registers a customer and returns its node-local index.
+func (g *Graph) AddCustomer(pt geo.Point, cap int, extID int64) int32 {
+	g.customers = append(g.customers, Customer{Pt: pt, Cap: cap, ExtID: extID})
+	g.custUsed = append(g.custUsed, 0)
+	g.assigned = append(g.assigned, nil)
+	g.assignedLen = append(g.assignedLen, 0)
+	g.tau = append(g.tau, 0)
+	g.search.grow(len(g.providers) + len(g.customers))
+	return int32(len(g.customers) - 1)
+}
+
+// AddEdge inserts the forward edge q→c into Esub and returns its length.
+func (g *Graph) AddEdge(q, c int32) float64 {
+	d := g.providers[q].Pt.Dist(g.customers[c].Pt)
+	g.adj[q] = append(g.adj[q], halfEdge{cust: c, dist: d})
+	g.edgeCount++
+	return d
+}
+
+// ProviderFull reports whether e(s,q) is saturated (Definition 2).
+func (g *Graph) ProviderFull(q int32) bool {
+	return g.provUsed[q] >= g.providers[q].Cap
+}
+
+// ProviderRemaining returns provider q's unused capacity.
+func (g *Graph) ProviderRemaining(q int32) int {
+	return g.providers[q].Cap - g.provUsed[q]
+}
+
+// CustomerRemaining returns customer c's unused capacity.
+func (g *Graph) CustomerRemaining(c int32) int {
+	return g.customers[c].Cap - g.custUsed[c]
+}
+
+// PairCapacity returns the effective per-pair instance limit.
+func (g *Graph) PairCapacity() int { return g.pairCapacity() }
+
+// CustomerFull reports whether e(p,t) is saturated (Definition 3).
+func (g *Graph) CustomerFull(c int32) bool {
+	return g.custUsed[c] >= g.customers[c].Cap
+}
+
+// LastAlpha returns the provider's most recent finalized Dijkstra
+// distance (0 until first finalized).
+func (g *Graph) LastAlpha(q int32) float64 { return g.lastAlpha[q] }
+
+// TauMax returns max{q.τ | q ∈ Q}, the bound used by Theorem 1.
+func (g *Graph) TauMax() float64 { return g.tauMax }
+
+// AssignedCount returns the total size of the current matching.
+func (g *Graph) AssignedCount() int {
+	total := 0
+	for _, u := range g.provUsed {
+		total += u
+	}
+	return total
+}
+
+// Pairs extracts the matching M: every (q,p) with a reversed edge.
+func (g *Graph) Pairs() []Pair {
+	var out []Pair
+	for c := range g.customers {
+		for _, q := range g.assigned[c] {
+			out = append(out, Pair{
+				Provider: int(q),
+				Customer: c,
+				CustID:   g.customers[c].ExtID,
+				CustPt:   g.customers[c].Pt,
+				Dist:     g.providers[q].Pt.Dist(g.customers[c].Pt),
+			})
+		}
+	}
+	return out
+}
+
+// Cost returns Ψ(M) of the current matching.
+func (g *Graph) Cost() float64 {
+	total := 0.0
+	for c := range g.customers {
+		for _, q := range g.assigned[c] {
+			total += g.providers[q].Pt.Dist(g.customers[c].Pt)
+		}
+	}
+	return total
+}
+
+func (g *Graph) customerNode(c int32) NodeID { return NodeID(len(g.providers)) + c }
+
+func (g *Graph) isCustomerNode(v NodeID) bool { return int(v) >= len(g.providers) }
+
+func (g *Graph) custIdx(v NodeID) int32 { return v - NodeID(len(g.providers)) }
+
+// SetPairCapacity sets the maximum number of matching instances per
+// (q,p) pair. The exact CCA problem uses 1 (the default); pass a large
+// value for CA's concise matching. Must be called before any search.
+func (g *Graph) SetPairCapacity(n int) { g.pairCap = n }
+
+// pairCapacity returns the effective per-pair capacity.
+func (g *Graph) pairCapacity() int {
+	if g.pairCap <= 0 {
+		return 1
+	}
+	return g.pairCap
+}
+
+// instanceCount returns how many instances of (q, c) are in the matching.
+func (g *Graph) instanceCount(c, q int32) int {
+	n := 0
+	for _, a := range g.assigned[c] {
+		if a == q {
+			n++
+		}
+	}
+	return n
+}
+
+// forwardSaturated reports whether edge (q,c) has no forward residual
+// capacity left.
+func (g *Graph) forwardSaturated(c, q int32) bool {
+	return g.instanceCount(c, q) >= g.pairCapacity()
+}
+
+func (g *Graph) assign(c, q int32, length float64) {
+	g.assigned[c] = append(g.assigned[c], q)
+	if len(g.assigned[c]) == 1 || length > g.assignedLen[c] {
+		g.assignedLen[c] = length
+	}
+}
+
+func (g *Graph) unassign(c, q int32) error {
+	for i, a := range g.assigned[c] {
+		if a == q {
+			g.assigned[c] = append(g.assigned[c][:i], g.assigned[c][i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("flowgraph: unassign: customer %d not assigned to provider %d", c, q)
+}
+
+// DirectAssign performs a Theorem 2 fast-path augmentation: the shortest
+// path is {s, q, c, t}, so the assignment is applied without running
+// Dijkstra. The edge must already be in Esub. Valid only while no
+// provider is full (the caller guarantees this, per Theorem 2).
+func (g *Graph) DirectAssign(q, c int32, length float64) {
+	g.assign(c, q, length)
+	g.provUsed[q]++
+	g.custUsed[c]++
+}
+
+// LeaveFastPhase installs potentials equivalent to those the Theorem 2
+// fast-path augmentations would have produced, so that subsequent
+// Dijkstra searches see non-negative reduced costs. lastLen is the length
+// of the last fast-path-augmented edge. Because the IDA heap pops edges
+// in ascending length:
+//
+//   - every provider potential equals lastLen (providers are visited at
+//     α = 0 in every conceptual iteration), as does the source's;
+//   - a full customer c gets τ(c) = lastLen − ℓmax(c), where ℓmax(c) is
+//     its longest assignment edge: this keeps the reversed edges
+//     (−ℓ − τ(c) + lastLen ≥ 0) and the forward edges into c (inserted
+//     only after c was full, hence with length ≥ ℓmax(c)) non-negative;
+//   - a non-full customer keeps τ = 0, so its sink edge stays cost 0.
+func (g *Graph) LeaveFastPhase(lastLen float64) {
+	g.sTau = lastLen
+	for q := range g.providers {
+		g.tau[q] = lastLen
+	}
+	for c := range g.customers {
+		node := g.customerNode(int32(c))
+		g.tau[node] = 0
+		if g.CustomerFull(int32(c)) && len(g.assigned[c]) > 0 {
+			if t := lastLen - g.assignedLen[c]; t > 0 {
+				g.tau[node] = t
+			}
+		}
+	}
+	g.tauMax = lastLen
+}
+
+// dist returns the Euclidean distance between provider q and customer c.
+func (g *Graph) dist(q, c int32) float64 {
+	return g.providers[q].Pt.Dist(g.customers[c].Pt)
+}

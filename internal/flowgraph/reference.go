@@ -1,0 +1,143 @@
+package flowgraph
+
+import "math"
+
+// RefSolve computes the optimal CCA matching with a deliberately simple
+// successive-shortest-path algorithm: Bellman–Ford on the explicit
+// residual graph with negative reversed-edge costs and no potentials.
+// It is O(γ·V·E) and exists purely as a correctness oracle for tests —
+// every production algorithm (SSPA, RIA, NIA, IDA) must produce a
+// matching of identical total cost.
+func RefSolve(providers []Provider, customers []Customer) ([]Pair, float64) {
+	return RefSolveCap(providers, customers, 1)
+}
+
+// RefSolveCap is RefSolve with a configurable per-pair capacity: each
+// (q,p) pair may appear up to pairCap times in the matching (CA's concise
+// matching uses an effectively unbounded pair capacity). Repeated
+// instances of a pair are reported as repeated Pairs.
+func RefSolveCap(providers []Provider, customers []Customer, pairCap int) ([]Pair, float64) {
+	nq, nc := len(providers), len(customers)
+	dist := make([][]float64, nq)
+	for q := range dist {
+		dist[q] = make([]float64, nc)
+		for c := range dist[q] {
+			dist[q][c] = providers[q].Pt.Dist(customers[c].Pt)
+		}
+	}
+	provUsed := make([]int, nq)
+	custUsed := make([]int, nc)
+	// flow[q][c] counts the matching instances of pair (q, c).
+	flow := make([][]int, nq)
+	for q := range flow {
+		flow[q] = make([]int, nc)
+	}
+
+	totalCap := 0
+	for _, p := range providers {
+		totalCap += p.Cap
+	}
+	custCap := 0
+	for _, c := range customers {
+		custCap += c.Cap
+	}
+	gamma := totalCap
+	if custCap < gamma {
+		gamma = custCap
+	}
+
+	// Node ids: 0..nq-1 providers, nq..nq+nc-1 customers, s = nq+nc,
+	// t = nq+nc+1.
+	n := nq + nc + 2
+	s, t := n-2, n-1
+	for iter := 0; iter < gamma; iter++ {
+		// Bellman–Ford from s.
+		d := make([]float64, n)
+		prev := make([]int, n)
+		for i := range d {
+			d[i] = math.Inf(1)
+			prev[i] = -1
+		}
+		d[s] = 0
+		for round := 0; round < n; round++ {
+			changed := false
+			// s -> q for non-full providers (cost 0).
+			for q := 0; q < nq; q++ {
+				if provUsed[q] < providers[q].Cap && d[s] < d[q] {
+					d[q], prev[q] = d[s], s
+					changed = true
+				}
+			}
+			for q := 0; q < nq; q++ {
+				if math.IsInf(d[q], 1) {
+					continue
+				}
+				for c := 0; c < nc; c++ {
+					if flow[q][c] >= pairCap {
+						continue
+					}
+					if nd := d[q] + dist[q][c]; nd < d[nq+c]-1e-12 {
+						d[nq+c], prev[nq+c] = nd, q
+						changed = true
+					}
+				}
+			}
+			for c := 0; c < nc; c++ {
+				if math.IsInf(d[nq+c], 1) {
+					continue
+				}
+				// Reversed edges c -> q with negative cost.
+				for q := 0; q < nq; q++ {
+					if flow[q][c] == 0 {
+						continue
+					}
+					if nd := d[nq+c] - dist[q][c]; nd < d[q]-1e-12 {
+						d[q], prev[q] = nd, nq+c
+						changed = true
+					}
+				}
+				// c -> t when the customer has remaining capacity.
+				if custUsed[c] < customers[c].Cap && d[nq+c] < d[t]-1e-12 {
+					d[t], prev[t] = d[nq+c], nq+c
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		if math.IsInf(d[t], 1) {
+			break // no more augmenting paths
+		}
+		// Apply the path.
+		v := prev[t]
+		custUsed[v-nq]++
+		for v != s {
+			u := prev[v]
+			if u == s {
+				provUsed[v]++
+			} else if v >= nq { // u is a provider, v a customer: assign
+				flow[u][v-nq]++
+			} else { // u is a customer, v a provider: unassign
+				flow[v][u-nq]--
+			}
+			v = u
+		}
+	}
+
+	var pairs []Pair
+	total := 0.0
+	for q := 0; q < nq; q++ {
+		for c := 0; c < nc; c++ {
+			for i := 0; i < flow[q][c]; i++ {
+				pairs = append(pairs, Pair{
+					Provider: q, Customer: c,
+					CustID: customers[c].ExtID,
+					Dist:   dist[q][c],
+				})
+				total += dist[q][c]
+			}
+		}
+	}
+	return pairs, total
+}

@@ -1,0 +1,146 @@
+package flowgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// Label-correcting iterations over raw costs must solve the same MCF as
+// the potential-based Dijkstra iterations.
+func TestLabelCorrectingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		providers := randProviders(2+rng.Intn(4), func(int) int { return 1 + rng.Intn(4) }, rng)
+		customers := randCustomers(1+rng.Intn(20), rng)
+		g := NewGraph(providers, true)
+		g.DisablePotentials()
+		for _, c := range customers {
+			g.AddCustomer(c.Pt, c.Cap, c.ExtID)
+		}
+		for {
+			if _, _, ok := g.SearchLabelCorrecting(); !ok {
+				break
+			}
+			if err := g.Augment(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, want := RefSolve(providers, customers)
+		if math.Abs(g.Cost()-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: cost %v want %v", trial, g.Cost(), want)
+		}
+	}
+}
+
+// SwapArrival: with zero remaining capacity, a strictly closer customer
+// must displace the most expensive one; a farther customer must be left
+// out.
+func TestSwapArrival(t *testing.T) {
+	providers := []Provider{{Pt: geo.Point{X: 0, Y: 0}, Cap: 1}}
+	g := NewGraph(providers, true)
+	g.DisablePotentials()
+
+	far := g.AddCustomer(geo.Point{X: 10, Y: 0}, 1, 1)
+	if _, _, ok := g.SearchLabelCorrecting(); !ok {
+		t.Fatal("first customer must match")
+	}
+	if err := g.Augment(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cost() != 10 {
+		t.Fatalf("cost %v want 10", g.Cost())
+	}
+
+	// A closer customer arrives with no capacity left: swap in.
+	near := g.AddCustomer(geo.Point{X: 2, Y: 0}, 1, 2)
+	swapped, err := g.SwapArrival(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatal("closer customer should swap in")
+	}
+	if g.Cost() != 2 || g.CustomerFull(far) || !g.CustomerFull(near) {
+		t.Fatalf("after swap: cost %v, far full=%v near full=%v",
+			g.Cost(), g.CustomerFull(far), g.CustomerFull(near))
+	}
+
+	// A farther customer arrives: no improvement, no swap.
+	worse := g.AddCustomer(geo.Point{X: 50, Y: 0}, 1, 3)
+	swapped, err = g.SwapArrival(worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped || g.Cost() != 2 || g.CustomerFull(worse) {
+		t.Fatalf("farther customer must not swap (swapped=%v cost=%v)", swapped, g.Cost())
+	}
+}
+
+// Multi-hop swaps: the improving cycle may reroute intermediate
+// customers across providers.
+func TestSwapArrivalMultiHop(t *testing.T) {
+	// q1 at 0, q2 at 10, both capacity 1.
+	providers := []Provider{
+		{Pt: geo.Point{X: 0, Y: 0}, Cap: 1},
+		{Pt: geo.Point{X: 10, Y: 0}, Cap: 1},
+	}
+	g := NewGraph(providers, true)
+	g.DisablePotentials()
+	add := func(x float64, id int64) int32 { return g.AddCustomer(geo.Point{X: x, Y: 0}, 1, id) }
+	match := func() {
+		if _, _, ok := g.SearchLabelCorrecting(); !ok {
+			t.Fatal("no path")
+		}
+		if err := g.Augment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(4, 1) // between the providers, nearer q1
+	match()
+	add(11, 2) // near q2
+	match()
+	// Both providers full: matching is {q1:4 (cost 4), q2:11 (cost 1)} = 5.
+	if math.Abs(g.Cost()-5) > 1e-9 {
+		t.Fatalf("setup cost %v want 5", g.Cost())
+	}
+	// A customer at 0.5 arrives: optimal is {q1:0.5, q2:11} = 1.5,
+	// evicting customer 1 entirely.
+	cNew := add(0.5, 3)
+	swapped, err := g.SwapArrival(cNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped || math.Abs(g.Cost()-1.5) > 1e-9 {
+		t.Fatalf("swap: %v cost %v want 1.5", swapped, g.Cost())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	providers := []Provider{{Pt: geo.Point{X: 0, Y: 0}, Cap: 3}}
+	g := NewGraph(providers, false)
+	g.SetPairCapacity(5)
+	if g.NumProviders() != 1 || g.NumCustomers() != 0 {
+		t.Fatal("counts wrong")
+	}
+	if g.PairCapacity() != 5 {
+		t.Fatalf("PairCapacity = %d", g.PairCapacity())
+	}
+	c := g.AddCustomer(geo.Point{X: 1, Y: 0}, 2, 7)
+	if g.NumCustomers() != 1 {
+		t.Fatal("customer count")
+	}
+	if g.ProviderRemaining(0) != 3 || g.CustomerRemaining(c) != 2 {
+		t.Fatal("remaining capacities wrong")
+	}
+	g.AddEdge(0, c)
+	g.DirectAssign(0, c, 1)
+	if g.ProviderRemaining(0) != 2 || g.CustomerRemaining(c) != 1 {
+		t.Fatal("remaining capacities after assign wrong")
+	}
+	if g.LastAlpha(0) != 0 {
+		t.Fatal("LastAlpha should start at 0")
+	}
+}

@@ -1,0 +1,103 @@
+// Package hilbert implements the 2-D Hilbert space-filling curve.
+//
+// The CCA paper uses Hilbert ordering twice: to group service providers
+// into spatially compact batches for the incremental all-nearest-neighbor
+// search (§3.4.2) and to partition providers in the SA approximation
+// (§4.1). The Hilbert curve is preferred over Z-order because consecutive
+// curve positions are always adjacent cells, so consecutive points in
+// Hilbert order tend to form tight groups.
+package hilbert
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// Order is the number of bits per coordinate used when quantizing
+// float coordinates onto the curve grid. 16 bits (a 65536×65536 grid)
+// is far below float64 precision loss and yields 32-bit curve indexes.
+const Order = 16
+
+// Encode maps grid cell (x, y) — each in [0, 2^order) — to its position
+// along the Hilbert curve of the given order.
+func Encode(x, y uint32, order uint) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rotate(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// Decode maps a curve position back to its grid cell, inverting Encode.
+func Decode(d uint64, order uint) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rotate(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rotate flips/rotates a quadrant as the curve recursion requires.
+func rotate(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// PointKey quantizes p within the bounding space and returns its Hilbert
+// curve position. Points outside space are clamped to its boundary.
+func PointKey(p geo.Point, space geo.Rect) uint64 {
+	return Encode(quantize(p.X, space.Min.X, space.Max.X),
+		quantize(p.Y, space.Min.Y, space.Max.Y), Order)
+}
+
+func quantize(v, lo, hi float64) uint32 {
+	const cells = 1 << Order
+	if hi <= lo {
+		return 0
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	c := uint32(f * cells)
+	if c >= cells {
+		c = cells - 1
+	}
+	return c
+}
+
+// SortByKey returns the indexes 0..n-1 permuted into ascending Hilbert
+// order of pts within space. The caller's slice is not modified.
+func SortByKey(pts []geo.Point, space geo.Rect) []int {
+	idx := make([]int, len(pts))
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		idx[i] = i
+		keys[i] = PointKey(p, space)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	return idx
+}

@@ -1,0 +1,139 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestEncodeOrder1(t *testing.T) {
+	// The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0, {0, 1}: 1, {1, 1}: 2, {1, 0}: 3,
+	}
+	for cell, d := range want {
+		if got := Encode(cell[0], cell[1], 1); got != d {
+			t.Errorf("Encode(%v) = %d want %d", cell, got, d)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= (1 << Order) - 1
+		y &= (1 << Order) - 1
+		gx, gy := Decode(Encode(x, y, Order), Order)
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeBijectiveSmallOrder(t *testing.T) {
+	// Exhaustively check order 4: 256 cells must map to 256 distinct
+	// positions covering [0,256).
+	const order = 4
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<order; x++ {
+		for y := uint32(0); y < 1<<order; y++ {
+			d := Encode(x, y, order)
+			if d >= 1<<(2*order) {
+				t.Fatalf("Encode(%d,%d) = %d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate curve position %d", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+// Consecutive curve positions must be adjacent grid cells (the defining
+// locality property of the Hilbert curve).
+func TestCurveContinuity(t *testing.T) {
+	const order = 5
+	px, py := Decode(0, order)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := Decode(d, order)
+		dx := int64(x) - int64(px)
+		dy := int64(y) - int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("positions %d and %d are not adjacent: (%d,%d) -> (%d,%d)", d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestPointKeyClamping(t *testing.T) {
+	space := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+	inside := PointKey(geo.Point{X: 500, Y: 500}, space)
+	_ = inside
+	lo := PointKey(geo.Point{X: -50, Y: -50}, space)
+	if lo != PointKey(geo.Point{X: 0, Y: 0}, space) {
+		t.Errorf("points below the space must clamp to the min corner")
+	}
+	hi := PointKey(geo.Point{X: 2000, Y: 2000}, space)
+	if hi != PointKey(geo.Point{X: 1000, Y: 1000}, space) {
+		t.Errorf("points above the space must clamp to the max corner")
+	}
+}
+
+func TestPointKeyDegenerateSpace(t *testing.T) {
+	space := geo.Rect{Min: geo.Point{X: 5, Y: 5}, Max: geo.Point{X: 5, Y: 5}}
+	if got := PointKey(geo.Point{X: 5, Y: 5}, space); got != 0 {
+		t.Errorf("degenerate space should map to 0, got %d", got)
+	}
+}
+
+func TestSortByKeyIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	space := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	idx := SortByKey(pts, space)
+	if len(idx) != len(pts) {
+		t.Fatalf("length mismatch")
+	}
+	seen := make([]bool, len(pts))
+	for _, i := range idx {
+		if i < 0 || i >= len(pts) || seen[i] {
+			t.Fatalf("not a permutation: %v", idx)
+		}
+		seen[i] = true
+	}
+	// Keys must be non-decreasing along the returned order.
+	prev := uint64(0)
+	for n, i := range idx {
+		k := PointKey(pts[i], space)
+		if n > 0 && k < prev {
+			t.Fatalf("keys not sorted at position %d", n)
+		}
+		prev = k
+	}
+}
+
+// Hilbert ordering should have decent locality: the average distance of
+// consecutive points in Hilbert order must be far below the average
+// distance of consecutive points in random order.
+func TestSortByKeyLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	space := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+	pts := make([]geo.Point, 2000)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	idx := SortByKey(pts, space)
+	var hilbertHop, randomHop float64
+	for i := 1; i < len(idx); i++ {
+		hilbertHop += pts[idx[i-1]].Dist(pts[idx[i]])
+		randomHop += pts[i-1].Dist(pts[i])
+	}
+	if hilbertHop*3 > randomHop {
+		t.Fatalf("Hilbert order shows poor locality: hop sum %.1f vs random %.1f", hilbertHop, randomHop)
+	}
+}

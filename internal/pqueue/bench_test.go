@@ -1,0 +1,38 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, 1024)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	var h Heap[int]
+	for i := 0; i < b.N; i++ {
+		h.Push(i, keys[i%len(keys)])
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkDecreaseKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var h Heap[int]
+	items := make([]*Item[int], 4096)
+	for i := range items {
+		items[i] = h.Push(i, 1e9+rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		if it.InHeap() {
+			h.Update(it, it.Key()-1)
+		}
+	}
+}

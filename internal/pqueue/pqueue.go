@@ -1,0 +1,131 @@
+// Package pqueue provides an addressable binary min-heap with float64
+// keys and O(log n) key updates.
+//
+// Every search structure in this reproduction is built on it: Dijkstra's
+// algorithm and the Path Update Algorithm need decrease-key (§2.2,
+// §3.4.1), the NIA/IDA edge heaps need in-place key *increases* when a
+// full provider's α changes (§3.3), and the R-tree best-first search and
+// incremental ANN need plain ordered extraction (§2.3, §3.4.2).
+package pqueue
+
+// Item is a heap entry handle. It stays valid (and addressable) from Push
+// until Pop/Remove returns it, so callers can update its key in place.
+type Item[T any] struct {
+	Value T
+	key   float64
+	index int // position in the heap slice; -1 when not enqueued
+}
+
+// Key returns the item's current key.
+func (it *Item[T]) Key() float64 { return it.key }
+
+// InHeap reports whether the item is currently enqueued.
+func (it *Item[T]) InHeap() bool { return it.index >= 0 }
+
+// Heap is an addressable min-heap. The zero value is ready to use.
+type Heap[T any] struct {
+	items []*Item[T]
+}
+
+// Len returns the number of enqueued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push enqueues value with the given key and returns its handle.
+func (h *Heap[T]) Push(value T, key float64) *Item[T] {
+	it := &Item[T]{Value: value, key: key, index: len(h.items)}
+	h.items = append(h.items, it)
+	h.up(it.index)
+	return it
+}
+
+// Peek returns the minimum item without removing it, or nil when empty.
+func (h *Heap[T]) Peek() *Item[T] {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// Pop removes and returns the minimum item, or nil when empty.
+func (h *Heap[T]) Pop() *Item[T] {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	h.swap(0, len(h.items)-1)
+	h.items = h.items[:len(h.items)-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// Update changes it's key and restores heap order. It must be enqueued.
+func (h *Heap[T]) Update(it *Item[T], key float64) {
+	old := it.key
+	it.key = key
+	switch {
+	case key < old:
+		h.up(it.index)
+	case key > old:
+		h.down(it.index)
+	}
+}
+
+// Remove deletes an enqueued item from the heap.
+func (h *Heap[T]) Remove(it *Item[T]) {
+	i := it.index
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	it.index = -1
+}
+
+// Clear empties the heap, invalidating all handles.
+func (h *Heap[T]) Clear() {
+	for _, it := range h.items {
+		it.index = -1
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].key <= h.items[i].key {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.items[right].key < h.items[left].key {
+			smallest = right
+		}
+		if h.items[i].key <= h.items[smallest].key {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

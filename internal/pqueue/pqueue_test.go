@@ -1,0 +1,154 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain(h *Heap[int]) []float64 {
+	var keys []float64
+	for h.Len() > 0 {
+		keys = append(keys, h.Pop().Key())
+	}
+	return keys
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	var h Heap[int]
+	in := []float64{5, 3, 8, 1, 9, 2, 7}
+	for i, k := range in {
+		h.Push(i, k)
+	}
+	got := drain(&h)
+	want := append([]float64(nil), in...)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v want %v", got, want)
+		}
+	}
+	if h.Pop() != nil || h.Peek() != nil {
+		t.Fatal("empty heap must return nil")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 10; i++ {
+		h.Push(i, 1.0)
+	}
+	seen := make(map[int]bool)
+	for h.Len() > 0 {
+		it := h.Pop()
+		if seen[it.Value] {
+			t.Fatalf("value %d popped twice", it.Value)
+		}
+		seen[it.Value] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("lost items: %d", len(seen))
+	}
+}
+
+func TestUpdateDecrease(t *testing.T) {
+	var h Heap[string]
+	h.Push("a", 10)
+	b := h.Push("b", 20)
+	h.Push("c", 30)
+	h.Update(b, 5)
+	if got := h.Pop().Value; got != "b" {
+		t.Fatalf("decrease-key: got %q want b", got)
+	}
+}
+
+func TestUpdateIncrease(t *testing.T) {
+	var h Heap[string]
+	a := h.Push("a", 10)
+	h.Push("b", 20)
+	h.Update(a, 25)
+	if got := h.Pop().Value; got != "b" {
+		t.Fatalf("increase-key: got %q want b", got)
+	}
+	if got := h.Pop().Value; got != "a" {
+		t.Fatalf("increase-key second: got %q want a", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var h Heap[int]
+	items := make([]*Item[int], 10)
+	for i := range items {
+		items[i] = h.Push(i, float64(i))
+	}
+	h.Remove(items[0]) // min
+	h.Remove(items[5]) // middle
+	h.Remove(items[9]) // max
+	if items[0].InHeap() || items[5].InHeap() || items[9].InHeap() {
+		t.Fatal("removed items must not report InHeap")
+	}
+	got := drain(&h)
+	want := []float64{1, 2, 3, 4, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	var h Heap[int]
+	it := h.Push(1, 1)
+	h.Clear()
+	if h.Len() != 0 || it.InHeap() {
+		t.Fatal("Clear must empty the heap and invalidate handles")
+	}
+	h.Push(2, 2)
+	if h.Pop().Value != 2 {
+		t.Fatal("heap must be reusable after Clear")
+	}
+}
+
+// Property: for any sequence of pushes and random key updates, popping
+// yields keys in non-decreasing order and returns every surviving item.
+func TestHeapPropertyUnderUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Heap[int]
+		n := 50 + rng.Intn(100)
+		items := make([]*Item[int], n)
+		for i := range items {
+			items[i] = h.Push(i, rng.Float64()*100)
+		}
+		for i := 0; i < n/2; i++ {
+			h.Update(items[rng.Intn(n)], rng.Float64()*100)
+		}
+		prev := -1.0
+		count := 0
+		for h.Len() > 0 {
+			it := h.Pop()
+			if it.Key() < prev {
+				return false
+			}
+			prev = it.Key()
+			count++
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var h Heap[int]
+	h.Push(1, 2)
+	h.Push(2, 1)
+	if h.Peek().Value != 2 || h.Len() != 2 {
+		t.Fatal("Peek must not remove")
+	}
+}

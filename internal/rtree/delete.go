@@ -1,0 +1,159 @@
+package rtree
+
+import (
+	"errors"
+
+	"repro/internal/storage"
+)
+
+var errOnlyLeaf = errors.New("rtree: operation requires a leaf entry")
+
+// Delete removes the exact (ID, point) entry from the tree. It returns
+// false when no such entry exists.
+//
+// Condensing follows Guttman: a leaf that underflows below the minimum
+// fill is dissolved and its remaining points reinserted; a directory node
+// that becomes empty is removed from its parent. A root directory with a
+// single child is collapsed.
+func (t *Tree) Delete(item Item) (bool, error) {
+	var orphans []Item
+	found, empty, err := t.remove(t.root, item, t.height, &orphans)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.size--
+	if empty && t.height > 1 {
+		// The root lost all children; reset to an empty leaf root.
+		if err := t.writeNode(&node{id: t.root, leaf: true}); err != nil {
+			return false, err
+		}
+		t.height = 1
+	}
+	// Collapse a root directory chain with single children.
+	for t.height > 1 {
+		n, err := t.readNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf || len(n.childs) != 1 {
+			break
+		}
+		t.root = n.childs[0].child
+		t.height--
+	}
+	for _, o := range orphans {
+		t.size-- // Insert will re-increment
+		if err := t.Insert(o); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// remove deletes item from the subtree rooted at id. It reports whether
+// the item was found and whether the subtree became empty. Underflowing
+// leaves dump their remaining items into orphans and report empty.
+func (t *Tree) remove(id storage.PageID, item Item, level int, orphans *[]Item) (found, empty bool, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, false, err
+	}
+	if n.leaf {
+		idx := -1
+		for i, it := range n.items {
+			if it.ID == item.ID && it.Pt == item.Pt {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return false, false, nil
+		}
+		n.items = append(n.items[:idx], n.items[idx+1:]...)
+		// Root leaves may hold any number of items; non-root leaves that
+		// underflow are dissolved.
+		if level != t.height && len(n.items) < minFill(t.leafCap) {
+			*orphans = append(*orphans, n.items...)
+			return true, true, nil
+		}
+		if err := t.writeNode(n); err != nil {
+			return false, false, err
+		}
+		return true, len(n.items) == 0, nil
+	}
+	for i, c := range n.childs {
+		if !c.mbr.Contains(item.Pt) {
+			continue
+		}
+		found, childEmpty, err := t.remove(c.child, item, level-1, orphans)
+		if err != nil {
+			return false, false, err
+		}
+		if !found {
+			continue
+		}
+		if childEmpty {
+			n.childs = append(n.childs[:i], n.childs[i+1:]...)
+		} else {
+			child, err := t.readNode(c.child)
+			if err != nil {
+				return false, false, err
+			}
+			n.childs[i] = dirEntry{child: c.child, count: child.subtreeCount(), mbr: child.mbr()}
+		}
+		if len(n.childs) == 0 {
+			return true, true, nil
+		}
+		if err := t.writeNode(n); err != nil {
+			return false, false, err
+		}
+		return true, false, nil
+	}
+	return false, false, nil
+}
+
+// checkInvariants verifies structural invariants for tests: every parent
+// entry's MBR contains its child's MBR, subtree counts are accurate, and
+// all leaves sit at the same depth. It returns the total point count.
+func (t *Tree) checkInvariants() (int, error) {
+	return t.check(t.root, t.height)
+}
+
+func (t *Tree) check(id storage.PageID, level int) (int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.leaf {
+		if level != 1 {
+			return 0, errors.New("rtree: leaf not at level 1")
+		}
+		return len(n.items), nil
+	}
+	if level == 1 {
+		return 0, errors.New("rtree: directory at leaf level")
+	}
+	total := 0
+	for _, c := range n.childs {
+		child, err := t.readNode(c.child)
+		if err != nil {
+			return 0, err
+		}
+		cm := child.mbr()
+		if !c.mbr.ContainsRect(cm) {
+			return 0, errors.New("rtree: parent MBR does not contain child MBR")
+		}
+		got, err := t.check(c.child, level-1)
+		if err != nil {
+			return 0, err
+		}
+		if got != c.count {
+			return 0, errors.New("rtree: stale subtree count in directory entry")
+		}
+		total += got
+	}
+	return total, nil
+}

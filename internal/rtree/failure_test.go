@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/storage"
+)
+
+// flakyStore wraps a MemStore and starts failing reads after a budget of
+// successful ones — simulating a disk that dies mid-query. Every R-tree
+// operation must surface the error instead of returning partial results
+// silently.
+type flakyStore struct {
+	*storage.MemStore
+	budget int
+}
+
+var errDiskDied = errors.New("injected disk failure")
+
+func (f *flakyStore) Read(id storage.PageID, buf []byte) error {
+	if f.budget <= 0 {
+		return errDiskDied
+	}
+	f.budget--
+	return f.MemStore.Read(id, buf)
+}
+
+func TestSearchSurfacesReadErrors(t *testing.T) {
+	items := randItems(3000, 71)
+	fs := &flakyStore{MemStore: storage.NewMemStore(1024), budget: 1 << 30}
+	buf := storage.NewBuffer(fs, 4)
+	tr, err := Bulk(buf, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm check: everything works with budget left.
+	if _, err := tr.RangeSearch(geo.Point{X: 500, Y: 500}, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	kill := func() {
+		buf.DropCache()
+		fs.budget = 1 // allow the root read, then fail
+	}
+
+	kill()
+	if _, err := tr.RangeSearch(geo.Point{X: 500, Y: 500}, 100); !errors.Is(err, errDiskDied) {
+		t.Fatalf("RangeSearch must surface the failure, got %v", err)
+	}
+	kill()
+	if _, err := tr.AnnularRange(geo.Point{X: 500, Y: 500}, 50, 200); !errors.Is(err, errDiskDied) {
+		t.Fatalf("AnnularRange must surface the failure, got %v", err)
+	}
+	kill()
+	if _, err := tr.All(); !errors.Is(err, errDiskDied) {
+		t.Fatalf("All must surface the failure, got %v", err)
+	}
+
+	kill()
+	it := tr.NewNNIterator(geo.Point{X: 500, Y: 500})
+	for {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if !errors.Is(it.Err(), errDiskDied) {
+		t.Fatalf("NNIterator must record the failure, got %v", it.Err())
+	}
+
+	kill()
+	src := NewANNSearch(tr, []geo.Point{{X: 500, Y: 500}}, testSpace, 1)
+	failed := false
+	for i := 0; i < len(items); i++ {
+		if _, _, ok, err := src.Next(0); err != nil {
+			if !errors.Is(err, errDiskDied) {
+				t.Fatalf("ANN returned wrong error: %v", err)
+			}
+			failed = true
+			break
+		} else if !ok {
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("ANN search never saw the injected failure")
+	}
+}
+
+func TestInsertSurfacesWriteErrors(t *testing.T) {
+	// A store whose writes fail after construction.
+	ws := &writeFailStore{MemStore: storage.NewMemStore(256)}
+	buf := storage.NewBuffer(ws, 64)
+	tr, err := New(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.fail = true
+	if err := tr.Insert(Item{ID: 1, Pt: geo.Point{X: 1, Y: 1}}); !errors.Is(err, errDiskDied) {
+		t.Fatalf("Insert must surface write failure, got %v", err)
+	}
+}
+
+type writeFailStore struct {
+	*storage.MemStore
+	fail bool
+}
+
+func (w *writeFailStore) Write(id storage.PageID, data []byte) error {
+	if w.fail {
+		return errDiskDied
+	}
+	return w.MemStore.Write(id, data)
+}

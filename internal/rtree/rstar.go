@@ -1,0 +1,186 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/storage"
+)
+
+// SplitPolicy selects the node split / subtree choice heuristics used by
+// dynamic insertion. Bulk loading (STR) is unaffected.
+type SplitPolicy int
+
+const (
+	// Quadratic is Guttman's quadratic split [6] with least-enlargement
+	// subtree choice — the classical R-tree the paper references.
+	Quadratic SplitPolicy = iota
+	// RStar uses the R*-tree heuristics [2] the paper cites as the
+	// common variant: margin-driven axis choice with overlap-minimal
+	// distribution on splits, and overlap-enlargement subtree choice at
+	// the leaf level. (Forced reinsertion is not implemented; the split
+	// and choose-subtree heuristics provide most of the query-quality
+	// benefit for point data.)
+	RStar
+)
+
+// String implements fmt.Stringer.
+func (p SplitPolicy) String() string {
+	if p == RStar {
+		return "R*"
+	}
+	return "quadratic"
+}
+
+// NewWithPolicy creates an empty tree whose dynamic inserts use the
+// given split policy.
+func NewWithPolicy(buf *storage.Buffer, policy SplitPolicy) (*Tree, error) {
+	t, err := New(buf)
+	if err != nil {
+		return nil, err
+	}
+	t.policy = policy
+	return t, nil
+}
+
+// chooseSubtreeRStar implements the R* ChooseSubtree: when the children
+// are leaves, pick the entry whose overlap with its siblings grows the
+// least (ties: least area enlargement, then smallest area); otherwise
+// fall back to least enlargement.
+func (t *Tree) chooseSubtreeRStar(n *node, p geo.Point, childrenAreLeaves bool) int {
+	if !childrenAreLeaves {
+		return t.chooseSubtree(n, p)
+	}
+	pr := geo.RectFromPoint(p)
+	best := 0
+	bestOverlap := math.Inf(1)
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, c := range n.childs {
+		grown := c.mbr.Union(pr)
+		overlapDelta := 0.0
+		for j, o := range n.childs {
+			if j == i {
+				continue
+			}
+			overlapDelta += intersectionArea(grown, o.mbr) - intersectionArea(c.mbr, o.mbr)
+		}
+		enl := c.mbr.Enlargement(pr)
+		area := c.mbr.Area()
+		if overlapDelta < bestOverlap ||
+			(overlapDelta == bestOverlap && enl < bestEnl) ||
+			(overlapDelta == bestOverlap && enl == bestEnl && area < bestArea) {
+			best, bestOverlap, bestEnl, bestArea = i, overlapDelta, enl, area
+		}
+	}
+	return best
+}
+
+func intersectionArea(a, b geo.Rect) float64 {
+	if !a.Intersects(b) {
+		return 0
+	}
+	w := math.Min(a.Max.X, b.Max.X) - math.Max(a.Min.X, b.Min.X)
+	h := math.Min(a.Max.Y, b.Max.Y) - math.Max(a.Min.Y, b.Min.Y)
+	return w * h
+}
+
+// rstarSplit implements the R* split: choose the axis with the minimum
+// total margin over all candidate distributions, then the distribution
+// on that axis with minimal overlap (ties: minimal total area).
+func rstarSplit(rects []geo.Rect, minEntries int) (left, right []int) {
+	n := len(rects)
+	type distribution struct {
+		order []int
+		k     int // left group = order[:k]
+	}
+	axisCandidates := func(byMin, byMax func(i, j int) bool) []distribution {
+		minOrder := make([]int, n)
+		maxOrder := make([]int, n)
+		for i := range minOrder {
+			minOrder[i] = i
+			maxOrder[i] = i
+		}
+		sort.SliceStable(minOrder, func(a, b int) bool { return byMin(minOrder[a], minOrder[b]) })
+		sort.SliceStable(maxOrder, func(a, b int) bool { return byMax(maxOrder[a], maxOrder[b]) })
+		var out []distribution
+		for _, order := range [][]int{minOrder, maxOrder} {
+			for k := minEntries; k <= n-minEntries; k++ {
+				out = append(out, distribution{order: order, k: k})
+			}
+		}
+		return out
+	}
+	groupMBRs := func(d distribution) (geo.Rect, geo.Rect) {
+		l, r := geo.EmptyRect(), geo.EmptyRect()
+		for i, idx := range d.order {
+			if i < d.k {
+				l = l.Union(rects[idx])
+			} else {
+				r = r.Union(rects[idx])
+			}
+		}
+		return l, r
+	}
+
+	xCands := axisCandidates(
+		func(i, j int) bool { return rects[i].Min.X < rects[j].Min.X },
+		func(i, j int) bool { return rects[i].Max.X < rects[j].Max.X },
+	)
+	yCands := axisCandidates(
+		func(i, j int) bool { return rects[i].Min.Y < rects[j].Min.Y },
+		func(i, j int) bool { return rects[i].Max.Y < rects[j].Max.Y },
+	)
+	marginSum := func(cands []distribution) float64 {
+		s := 0.0
+		for _, d := range cands {
+			l, r := groupMBRs(d)
+			s += l.Perimeter() + r.Perimeter()
+		}
+		return s
+	}
+	cands := xCands
+	if marginSum(yCands) < marginSum(xCands) {
+		cands = yCands
+	}
+
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	var best distribution
+	for _, d := range cands {
+		l, r := groupMBRs(d)
+		ov := intersectionArea(l, r)
+		area := l.Area() + r.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestOverlap, bestArea, best = ov, area, d
+		}
+	}
+	left = append(left, best.order[:best.k]...)
+	right = append(right, best.order[best.k:]...)
+	return left, right
+}
+
+// splitIndexes dispatches on the tree's split policy.
+func (t *Tree) splitIndexes(rects []geo.Rect, minEntries int) ([]int, []int) {
+	if t.policy == RStar {
+		return rstarSplit(rects, minEntries)
+	}
+	return quadraticSplit(rects, minEntries)
+}
+
+// KNN returns the k points of the tree closest to q in ascending
+// distance order (fewer if the tree holds fewer points) — the K-nearest
+// neighbor query of §2.3, evaluated with the best-first algorithm [7].
+func (t *Tree) KNN(q geo.Point, k int) ([]Item, error) {
+	it := t.NewNNIterator(q)
+	out := make([]Item, 0, k)
+	for len(out) < k {
+		item, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, item)
+	}
+	return out, it.Err()
+}

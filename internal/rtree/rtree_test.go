@@ -1,0 +1,559 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/storage"
+)
+
+func memTree(t *testing.T, pageSize, frames int) *Tree {
+	t.Helper()
+	tr, err := New(storage.NewBuffer(storage.NewMemStore(pageSize), frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: int64(i), Pt: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}}
+	}
+	return items
+}
+
+func bulkTree(t *testing.T, items []Item) *Tree {
+	t.Helper()
+	tr, err := Bulk(storage.NewBuffer(storage.NewMemStore(1024), 1024), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCapacities(t *testing.T) {
+	if got := LeafCapacity(1024); got != 42 {
+		t.Errorf("LeafCapacity(1024) = %d want 42", got)
+	}
+	if got := DirCapacity(1024); got != 25 {
+		t.Errorf("DirCapacity(1024) = %d want 25", got)
+	}
+}
+
+func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
+	leaf := &node{id: 7, leaf: true, items: []Item{
+		{ID: 42, Pt: geo.Point{X: 1.5, Y: -2.25}},
+		{ID: -1, Pt: geo.Point{X: math.Pi, Y: math.E}},
+	}}
+	data, err := encodeNode(leaf, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeNode(7, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.leaf || len(got.items) != 2 || got.items[0] != leaf.items[0] || got.items[1] != leaf.items[1] {
+		t.Fatalf("leaf round trip mismatch: %+v", got)
+	}
+
+	dir := &node{id: 9, childs: []dirEntry{
+		{child: 3, count: 17, mbr: geo.Rect{Min: geo.Point{X: 0, Y: 1}, Max: geo.Point{X: 2, Y: 3}}},
+		{child: 5, count: 23, mbr: geo.Rect{Min: geo.Point{X: -4, Y: -5}, Max: geo.Point{X: 6, Y: 7}}},
+	}}
+	data, err = encodeNode(dir, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = decodeNode(9, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.leaf || len(got.childs) != 2 || got.childs[0] != dir.childs[0] || got.childs[1] != dir.childs[1] {
+		t.Fatalf("dir round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeCorruptPage(t *testing.T) {
+	if _, err := decodeNode(0, []byte{}); err == nil {
+		t.Error("short page must fail")
+	}
+	bad := make([]byte, 64)
+	bad[0] = 9 // unknown kind
+	if _, err := decodeNode(0, bad); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	overflow := make([]byte, 64)
+	overflow[0] = kindLeaf
+	overflow[1] = 0xff // count 255 cannot fit in 64 bytes
+	if _, err := decodeNode(0, overflow); err == nil {
+		t.Error("overflowing count must fail")
+	}
+}
+
+func TestInsertAndAll(t *testing.T) {
+	tr := memTree(t, 256, 1024)
+	items := randItems(500, 1)
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Size() != 500 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if _, err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("All returned %d items", len(got))
+	}
+	seen := make(map[int64]bool)
+	for _, it := range got {
+		if seen[it.ID] {
+			t.Fatalf("duplicate item %d", it.ID)
+		}
+		seen[it.ID] = true
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	for _, n := range []int{0, 1, 42, 43, 1000, 5000} {
+		items := randItems(n, int64(n))
+		tr := bulkTree(t, items)
+		if tr.Size() != n {
+			t.Fatalf("n=%d: Size = %d", n, tr.Size())
+		}
+		if n > 0 {
+			if _, err := tr.checkInvariants(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		got, err := tr.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: All returned %d", n, len(got))
+		}
+	}
+}
+
+func TestBulkHeight(t *testing.T) {
+	// 5000 points at leaf cap 42 -> 120 leaves -> needs 2 directory
+	// levels at dir cap 25 (120 > 25).
+	tr := bulkTree(t, randItems(5000, 3))
+	if tr.Height() != 3 {
+		t.Fatalf("Height = %d want 3", tr.Height())
+	}
+	// Utilization of STR should be near-full: pages ~= leaves + dirs + meta.
+	leaves := int(math.Ceil(5000.0 / 42))
+	if tr.PageCount() > leaves+10 {
+		t.Fatalf("STR used %d pages for %d leaves", tr.PageCount(), leaves)
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	items := randItems(2000, 5)
+	tr := bulkTree(t, items)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		center := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		r := rng.Float64() * 200
+		got, err := tr.RangeSearch(center, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int64
+		for _, it := range items {
+			if center.Dist(it.Pt) <= r {
+				want = append(want, it.ID)
+			}
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: range mismatch: got %d items want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestAnnularRangeMatchesBruteForce(t *testing.T) {
+	items := randItems(2000, 7)
+	tr := bulkTree(t, items)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		center := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		rlo := rng.Float64() * 100
+		rhi := rlo + rng.Float64()*150
+		got, err := tr.AnnularRange(center, rlo, rhi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int64
+		for _, it := range items {
+			d := center.Dist(it.Pt)
+			if d > rlo && d <= rhi {
+				want = append(want, it.ID)
+			}
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: annular mismatch: got %d want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestAnnularDisjointCoversRange(t *testing.T) {
+	// Consecutive annuli (T-θ, T] must partition the full range search,
+	// the property RIA relies on to avoid duplicate edges.
+	items := randItems(1000, 9)
+	tr := bulkTree(t, items)
+	center := geo.Point{X: 500, Y: 500}
+	const theta = 100.0
+	seen := make(map[int64]int)
+	for step := 0; step < 15; step++ {
+		lo, hi := float64(step)*theta, float64(step+1)*theta
+		if step == 0 {
+			lo = -1
+		}
+		got, err := tr.AnnularRange(center, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range got {
+			seen[it.ID]++
+		}
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("annuli cover %d of 1000 points", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("point %d appeared %d times", id, c)
+		}
+	}
+}
+
+func TestSearchRect(t *testing.T) {
+	items := randItems(1500, 11)
+	tr := bulkTree(t, items)
+	w := geo.Rect{Min: geo.Point{X: 200, Y: 300}, Max: geo.Point{X: 600, Y: 450}}
+	got, err := tr.SearchRect(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, it := range items {
+		if w.Contains(it.Pt) {
+			want = append(want, it.ID)
+		}
+	}
+	if !sameIDs(got, want) {
+		t.Fatalf("window mismatch: got %d want %d", len(got), len(want))
+	}
+}
+
+func TestNNIteratorFullOrder(t *testing.T) {
+	items := randItems(1200, 13)
+	tr := bulkTree(t, items)
+	q := geo.Point{X: 333, Y: 667}
+
+	want := append([]Item(nil), items...)
+	sort.Slice(want, func(i, j int) bool { return q.Dist(want[i].Pt) < q.Dist(want[j].Pt) })
+
+	it := tr.NewNNIterator(q)
+	prev := -1.0
+	for i := 0; ; i++ {
+		item, d, ok := it.Next()
+		if !ok {
+			if i != len(items) {
+				t.Fatalf("iterator stopped at %d of %d", i, len(items))
+			}
+			break
+		}
+		if d < prev {
+			t.Fatalf("distances not monotone at %d: %f < %f", i, d, prev)
+		}
+		if math.Abs(d-q.Dist(want[i].Pt)) > 1e-9 {
+			t.Fatalf("rank %d: got dist %f want %f (item %d)", i, d, q.Dist(want[i].Pt), item.ID)
+		}
+		prev = d
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestNNIteratorEmptyTree(t *testing.T) {
+	tr := memTree(t, 256, 16)
+	it := tr.NewNNIterator(geo.Point{X: 1, Y: 2})
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree must yield nothing")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	items := randItems(800, 17)
+	tr := memTree(t, 256, 1024)
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(18))
+	perm := rng.Perm(len(items))
+	// Delete half the items in random order.
+	for _, i := range perm[:400] {
+		ok, err := tr.Delete(items[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("item %d not found for deletion", items[i].ID)
+		}
+	}
+	if tr.Size() != 400 {
+		t.Fatalf("Size after deletes = %d", tr.Size())
+	}
+	if _, err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted items must be gone; survivors must remain.
+	all, err := tr.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := make(map[int64]bool)
+	for _, it := range all {
+		alive[it.ID] = true
+	}
+	for n, i := range perm {
+		if n < 400 && alive[items[i].ID] {
+			t.Fatalf("deleted item %d still present", items[i].ID)
+		}
+		if n >= 400 && !alive[items[i].ID] {
+			t.Fatalf("surviving item %d lost", items[i].ID)
+		}
+	}
+	// Deleting a missing item reports false.
+	ok, err := tr.Delete(Item{ID: 99999, Pt: geo.Point{X: 1, Y: 1}})
+	if err != nil || ok {
+		t.Fatalf("Delete(missing) = %v, %v", ok, err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	items := randItems(300, 19)
+	tr := memTree(t, 256, 1024)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for _, it := range items {
+		ok, err := tr.Delete(it)
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", it.ID, ok, err)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("Size = %d after deleting everything", tr.Size())
+	}
+	// The tree must still accept inserts.
+	if err := tr.Insert(Item{ID: 1, Pt: geo.Point{X: 5, Y: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr.RangeSearch(geo.Point{X: 5, Y: 5}, 1)
+	if len(got) != 1 {
+		t.Fatal("reuse after full deletion failed")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.db")
+	fs, err := storage.CreateFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := randItems(700, 23)
+	tr, err := Bulk(storage.NewBuffer(fs, 64), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := storage.OpenFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	tr2, err := Open(storage.NewBuffer(fs2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != 700 || tr2.Height() != tr.Height() {
+		t.Fatalf("reopened tree: size %d height %d", tr2.Size(), tr2.Height())
+	}
+	got, err := tr2.RangeSearch(geo.Point{X: 500, Y: 500}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, it := range items {
+		if (geo.Point{X: 500, Y: 500}).Dist(it.Pt) <= 100 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("post-reopen range: %d want %d", len(got), want)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	s := storage.NewMemStore(256)
+	s.Alloc()
+	if _, err := Open(storage.NewBuffer(s, 4)); err == nil {
+		t.Fatal("Open must reject stores without R-tree metadata")
+	}
+}
+
+func TestTraversalCursor(t *testing.T) {
+	items := randItems(2000, 29)
+	tr := bulkTree(t, items)
+	root, err := tr.RootEntry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Count != 2000 {
+		t.Fatalf("root count = %d", root.Count)
+	}
+	// Walk the entire tree via the cursor and count points.
+	var walk func(e Entry) int
+	walk = func(e Entry) int {
+		if e.Leaf {
+			its, err := tr.LeafItems(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, it := range its {
+				if !e.MBR.Contains(it.Pt) {
+					t.Fatalf("leaf MBR does not contain its item")
+				}
+			}
+			return len(its)
+		}
+		kids, err := tr.Children(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, k := range kids {
+			if !e.MBR.ContainsRect(k.MBR) {
+				t.Fatal("child MBR escapes parent")
+			}
+			if k.Count <= 0 {
+				t.Fatal("entry without count")
+			}
+			total += walk(k)
+		}
+		return total
+	}
+	if got := walk(root); got != 2000 {
+		t.Fatalf("cursor walk found %d points", got)
+	}
+	// LeafItems on a directory entry must fail.
+	if !root.Leaf {
+		if _, err := tr.LeafItems(root); err == nil {
+			t.Fatal("LeafItems on directory entry must fail")
+		}
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	items := randItems(3000, 31)
+	buf := storage.NewBuffer(storage.NewMemStore(1024), 4)
+	tr, err := Bulk(buf, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ResetStats()
+	buf.DropCache()
+	if _, err := tr.RangeSearch(geo.Point{X: 500, Y: 500}, 50); err != nil {
+		t.Fatal(err)
+	}
+	st := buf.Stats()
+	if st.Faults == 0 {
+		t.Fatal("cold range search must fault")
+	}
+	if st.Faults > tr.PageCount() {
+		t.Fatalf("faults %d exceed page count %d", st.Faults, tr.PageCount())
+	}
+	// A tiny range query must touch far fewer pages than the whole tree.
+	if st.Faults*3 > tr.PageCount() {
+		t.Fatalf("range search touched %d of %d pages — no pruning?", st.Faults, tr.PageCount())
+	}
+}
+
+func TestInsertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		tr := memTree(t, 256, 1024)
+		pts := make(map[int64]geo.Point, n)
+		for i := 0; i < n; i++ {
+			it := Item{ID: int64(i), Pt: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}}
+			pts[it.ID] = it.Pt
+			if err := tr.Insert(it); err != nil {
+				return false
+			}
+		}
+		if _, err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		all, err := tr.All()
+		if err != nil || len(all) != n {
+			return false
+		}
+		for _, it := range all {
+			if pts[it.ID] != it.Pt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameIDs(got []Item, want []int64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	g := make([]int64, len(got))
+	for i, it := range got {
+		g[i] = it.ID
+	}
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	w := append([]int64(nil), want...)
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	for i := range g {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
