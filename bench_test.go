@@ -22,7 +22,6 @@ import (
 // one core while still exercising every code path of every figure.
 const benchScale = 0.01
 
-
 // BenchmarkFig08 — CPU vs k on the small instance, SSPA baseline
 // included (Figure 8: SSPA is orders of magnitude slower).
 func BenchmarkFig08(b *testing.B) {

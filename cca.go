@@ -71,6 +71,7 @@ type Customers struct {
 	tree  *rtree.Tree
 	buf   *storage.Buffer
 	store storage.Store
+	owner bool // this handle owns (and Close closes) the page store
 }
 
 // IndexConfig controls how a customer dataset is indexed.
@@ -139,17 +140,29 @@ func IndexItems(items []rtree.Item, cfg IndexConfig) (*Customers, error) {
 		store.Close()
 		return nil, err
 	}
-	frames := cfg.BufferPages
-	if frames <= 0 {
-		frames = int(cfg.BufferFraction * float64(store.NumPages()))
-	}
-	buf := storage.NewBuffer(store, frames)
+	buf := storage.NewBuffer(store, cfg.frames(store))
 	reopened, err := rtree.Open(buf)
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
-	return &Customers{tree: reopened, buf: buf, store: store}, nil
+	return &Customers{tree: reopened, buf: buf, store: store, owner: true}, nil
+}
+
+// frames computes the effective LRU buffer size in pages, clamped to at
+// least one frame: a fractional buffer over a small store truncates to
+// zero, and relying on storage.NewBuffer's hidden clamp would leave the
+// effective size unobservable. Callers can read the result back through
+// Customers.BufferFrames.
+func (c IndexConfig) frames(store storage.Store) int {
+	frames := c.BufferPages
+	if frames <= 0 {
+		frames = int(c.BufferFraction * float64(store.NumPages()))
+	}
+	if frames < 1 {
+		frames = 1
+	}
+	return frames
 }
 
 // OpenCustomers opens a customer R-tree previously persisted to a page
@@ -160,21 +173,37 @@ func OpenCustomers(path string, cfg IndexConfig) (*Customers, error) {
 	if err != nil {
 		return nil, err
 	}
-	frames := cfg.BufferPages
-	if frames <= 0 {
-		frames = int(cfg.BufferFraction * float64(fs.NumPages()))
-	}
-	buf := storage.NewBuffer(fs, frames)
+	buf := storage.NewBuffer(fs, cfg.frames(fs))
 	tree, err := rtree.Open(buf)
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
-	return &Customers{tree: tree, buf: buf, store: fs}, nil
+	return &Customers{tree: tree, buf: buf, store: fs, owner: true}, nil
+}
+
+// Clone returns an independent handle onto the same customer data: a
+// fresh (cold) LRU buffer of the same capacity over the shared page
+// store, with its own I/O counters. Handles never share mutable state,
+// so distinct handles can serve queries from distinct goroutines
+// concurrently — the batch engine gives each in-flight solve its own
+// handle for exactly this reason. Closing a clone does not close the
+// shared store; only the original handle's Close does.
+func (c *Customers) Clone() (*Customers, error) {
+	buf := storage.NewBuffer(c.store, c.buf.Frames())
+	tree, err := rtree.Open(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &Customers{tree: tree, buf: buf, store: c.store, owner: false}, nil
 }
 
 // Len returns the number of indexed customers.
 func (c *Customers) Len() int { return c.tree.Size() }
+
+// BufferFrames returns the effective LRU buffer capacity in pages — the
+// explicitly clamped size computed at indexing time.
+func (c *Customers) BufferFrames() int { return c.buf.Frames() }
 
 // Tree exposes the underlying R-tree (for advanced use and experiments).
 func (c *Customers) Tree() *rtree.Tree { return c.tree }
@@ -203,8 +232,14 @@ func (c *Customers) KNN(q Point, k int) ([]Customer, error) {
 	return c.tree.KNN(q, k)
 }
 
-// Close releases the underlying page store.
-func (c *Customers) Close() error { return c.store.Close() }
+// Close releases the underlying page store. On a handle produced by
+// Clone it is a no-op: the original handle owns the store.
+func (c *Customers) Close() error {
+	if !c.owner {
+		return nil
+	}
+	return c.store.Close()
+}
 
 // Validate checks a result against the problem definition: every
 // provider within capacity, every customer at most once, pair distances

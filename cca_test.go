@@ -202,7 +202,6 @@ func TestPublicIOAccounting(t *testing.T) {
 	}
 }
 
-
 // The Hungarian baseline must agree with IDA through the public API.
 func TestPublicHungarian(t *testing.T) {
 	providers, customers := testWorkload(t, 3, 40, 5, 91)

@@ -17,28 +17,43 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/solver"
 )
 
 func main() {
 	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", or "all"`)
 	scale := flag.Float64("scale", 0.05, "cardinality scale factor (1.0 = paper size)")
+	algos := flag.String("algos", "", "comma-separated solver names swept by the exact figures\n(default "+
+		strings.Join(expr.ExactAlgos(), ",")+"; registered: "+strings.Join(solver.Names(), ",")+")")
 	flag.Parse()
 
+	if *algos != "" {
+		names := strings.Split(*algos, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		if err := expr.SetExactAlgos(names); err != nil {
+			fmt.Fprintf(os.Stderr, "ccabench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	runners := map[string]func(float64) error{
-		"8":        wrap(expr.Fig8),
-		"9":        wrap(expr.Fig9),
-		"10":       wrap(expr.Fig10),
-		"11":       wrap(expr.Fig11),
-		"12":       wrap(expr.Fig12),
-		"13":       wrap(expr.Fig13),
-		"14":       wrap(expr.Fig14),
-		"15":       wrap(expr.Fig15),
-		"16":       wrap(expr.Fig16),
-		"17":       wrap(expr.Fig17),
-		"18":       wrap(expr.Fig18),
+		"8":         wrap(expr.Fig8),
+		"9":         wrap(expr.Fig9),
+		"10":        wrap(expr.Fig10),
+		"11":        wrap(expr.Fig11),
+		"12":        wrap(expr.Fig12),
+		"13":        wrap(expr.Fig13),
+		"14":        wrap(expr.Fig14),
+		"15":        wrap(expr.Fig15),
+		"16":        wrap(expr.Fig16),
+		"17":        wrap(expr.Fig17),
+		"18":        wrap(expr.Fig18),
 		"ablation":  wrap(expr.Ablation),
 		"theta":     wrap(expr.ThetaSensitivity),
 		"baselines": wrap(expr.BaselineScaling),

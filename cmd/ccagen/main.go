@@ -15,8 +15,8 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/dataio"
 	"repro/internal/datagen"
+	"repro/internal/dataio"
 	"repro/internal/expr"
 )
 

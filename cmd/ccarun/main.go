@@ -5,8 +5,9 @@
 //	ccarun -providers q.csv -customers p.csv -algo ida
 //	ccarun -providers q.csv -customers p.csv -algo ca -delta 10 -out m.csv
 //
-// Algorithms: ida (default), nia, ria, sspa, greedy, sa, ca.
-// With -out, the matching is written as provider,customer,dist rows.
+// Algorithms are resolved by name through the solver registry; run with
+// -algo help (or see the usage text) for the registered set. With -out,
+// the matching is written as provider,customer,dist rows.
 package main
 
 import (
@@ -17,7 +18,6 @@ import (
 	"time"
 
 	cca "repro"
-	"repro/internal/core"
 	"repro/internal/dataio"
 )
 
@@ -25,14 +25,23 @@ func main() {
 	var (
 		provPath = flag.String("providers", "", "providers CSV: x,y,capacity")
 		custPath = flag.String("customers", "", "customers CSV: id,x,y")
-		algo     = flag.String("algo", "ida", "ida | nia | ria | sspa | greedy | sa | ca")
-		delta    = flag.Float64("delta", 0, "δ for sa/ca (0 = paper default)")
+		algo     = flag.String("algo", "ida", "solver name: "+strings.Join(cca.Solvers(), " | "))
+		delta    = flag.Float64("delta", 0, "δ for the approximate solvers (0 = paper default)")
 		theta    = flag.Float64("theta", 0.8, "θ for ria")
 		outPath  = flag.String("out", "", "write the matching CSV here")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nregistered solvers:\n", os.Args[0])
+		for _, line := range cca.DescribeSolvers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", line)
+		}
+		fmt.Fprintln(flag.CommandLine.Output(), "\nflags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *provPath == "" || *custPath == "" {
 		fmt.Fprintln(os.Stderr, "ccarun: -providers and -customers are required")
+		flag.Usage()
 		os.Exit(2)
 	}
 
@@ -44,50 +53,25 @@ func main() {
 	fatal(err)
 	defer customers.Close()
 
+	opts := cca.SolverOptions{Delta: *delta}
+	opts.Core.Theta = *theta
+
 	start := time.Now()
-	var (
-		res    *cca.Result
-		bound  float64
-		approx bool
-	)
-	switch strings.ToLower(*algo) {
-	case "ida":
-		res, err = cca.Assign(providers, customers, nil)
-	case "nia":
-		res, err = cca.AssignNIA(providers, customers, nil)
-	case "ria":
-		res, err = cca.AssignRIA(providers, customers, &cca.Options{Theta: *theta})
-	case "sspa":
-		res, err = cca.AssignSSPA(providers, customers, nil)
-	case "greedy":
-		res, err = cca.GreedyAssign(providers, customers, nil)
-	case "sa":
-		var ares *cca.ApproxResult
-		ares, err = cca.AssignApproxSA(providers, customers, cca.ApproxOptions{Delta: *delta})
-		if err == nil {
-			res, bound, approx = &ares.Result, ares.ErrorBound, true
-		}
-	case "ca":
-		var ares *cca.ApproxResult
-		ares, err = cca.AssignApproxCA(providers, customers, cca.ApproxOptions{Delta: *delta})
-		if err == nil {
-			res, bound, approx = &ares.Result, ares.ErrorBound, true
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "ccarun: unknown algorithm %q\n", *algo)
+	res, err := cca.Solve(*algo, providers, customers, &opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccarun:", err)
 		os.Exit(2)
 	}
-	fatal(err)
 	elapsed := time.Since(start)
 
 	io := customers.IOStats()
-	fmt.Printf("algorithm      %s\n", strings.ToUpper(*algo))
+	fmt.Printf("algorithm      %s (%s)\n", strings.ToUpper(res.Solver), res.Kind)
 	fmt.Printf("providers      %d (total capacity %d)\n", len(providers), totalCap(providers))
 	fmt.Printf("customers      %d\n", customers.Len())
 	fmt.Printf("matching size  %d\n", res.Size)
 	fmt.Printf("cost Ψ(M)      %.3f\n", res.Cost)
-	if approx {
-		fmt.Printf("error bound    ≤ %.3f above optimal\n", bound)
+	if res.Kind == cca.SolverApproximate {
+		fmt.Printf("error bound    ≤ %.3f above optimal\n", res.ErrorBound)
 	}
 	fmt.Printf("subgraph |Esub| %d of %d\n", res.Metrics.SubgraphEdges, res.Metrics.FullGraphEdges)
 	fmt.Printf("wall time      %v\n", elapsed.Round(time.Millisecond))
@@ -96,7 +80,7 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		fatal(err)
-		fatal(dataio.WriteMatching(f, toCorePairs(res.Pairs)))
+		fatal(dataio.WriteMatching(f, res.Pairs))
 		fatal(f.Close())
 		fmt.Printf("matching written to %s\n", *outPath)
 	}
@@ -108,14 +92,6 @@ func totalCap(providers []cca.Provider) int {
 		t += p.Cap
 	}
 	return t
-}
-
-func toCorePairs(pairs []cca.Pair) []core.Pair {
-	out := make([]core.Pair, len(pairs))
-	for i, p := range pairs {
-		out[i] = core.Pair(p)
-	}
-	return out
 }
 
 func fatal(err error) {

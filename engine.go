@@ -1,0 +1,184 @@
+package cca
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Instance is one independent CCA scenario in a batch: a provider set,
+// a customer dataset, and the solver to run. Several instances may
+// reference the same *Customers — the engine gives every in-flight
+// solve its own cold handle (Customers.Clone), so LRU buffers and I/O
+// counters never race and results do not depend on scheduling order.
+type Instance struct {
+	// Label identifies the instance in results (optional).
+	Label string
+	// Providers is the capacitated provider set Q.
+	Providers []Provider
+	// Customers is the indexed customer set P.
+	Customers *Customers
+	// Solver is the registry name to run ("" selects "ida").
+	Solver string
+	// Options tunes the solve; the zero value is the paper's defaults.
+	Options SolverOptions
+}
+
+// InstanceResult is one instance's outcome within a batch.
+type InstanceResult struct {
+	// Index is the instance's position in the submitted batch.
+	Index int
+	// Label echoes Instance.Label.
+	Label string
+	// Solver is the canonical name of the solver that ran (the
+	// requested name when Err is set before a solver ran).
+	Solver string
+	// Result is the matching (nil when Err is set).
+	Result *SolverResult
+	// Err is the instance's failure, if any; other instances still run.
+	Err error
+	// Wall is this instance's own solve time.
+	Wall time.Duration
+}
+
+// FleetMetrics aggregates a batch run.
+type FleetMetrics struct {
+	Instances int           // instances submitted
+	Solved    int           // instances that produced a matching
+	Errors    int           // instances that failed
+	Workers   int           // worker-pool size used
+	Wall      time.Duration // batch wall-clock time
+	SolveWall time.Duration // Σ per-instance wall time (≥ Wall when parallel)
+	CPUTime   time.Duration // Σ solver-reported CPU time
+	IOTime    time.Duration // Σ simulated I/O time (10 ms per fault)
+	Faults    int           // Σ page faults
+	Pairs     int           // Σ matching sizes
+	Cost      float64       // Σ matching costs Ψ(M)
+}
+
+// BatchResult is the outcome of Engine.Run: per-instance results in
+// submission order plus fleet-level aggregates.
+type BatchResult struct {
+	Results []InstanceResult
+	Fleet   FleetMetrics
+}
+
+// Engine executes batches of independent CCA instances across a bounded
+// worker pool. The zero value is ready to use:
+//
+//	var engine cca.Engine
+//	batch, err := engine.Run(instances)
+//
+// Per-instance results are byte-identical to running the instances
+// sequentially (every solve starts on a fresh cold buffer handle), so
+// Workers only changes wall-clock time, never answers.
+type Engine struct {
+	// Workers bounds the number of concurrent solves; values < 1 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// DefaultSolver is used by instances with an empty Solver field
+	// ("" selects "ida").
+	DefaultSolver string
+}
+
+// workers returns the effective pool size for n instances.
+func (e *Engine) workers(n int) int {
+	w := e.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// solverFor resolves an instance's solver name.
+func (e *Engine) solverFor(in Instance) string {
+	if in.Solver != "" {
+		return in.Solver
+	}
+	if e.DefaultSolver != "" {
+		return e.DefaultSolver
+	}
+	return "ida"
+}
+
+// Run solves every instance and returns per-instance results (in input
+// order) plus fleet metrics. Solver failures are reported per instance
+// in InstanceResult.Err and counted in FleetMetrics.Errors; Run itself
+// only fails on malformed input (a nil Customers).
+func (e *Engine) Run(instances []Instance) (*BatchResult, error) {
+	for i, in := range instances {
+		if in.Customers == nil {
+			return nil, fmt.Errorf("cca: engine: instance %d has nil Customers", i)
+		}
+	}
+	start := time.Now()
+	results := make([]InstanceResult, len(instances))
+	workers := e.workers(len(instances))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = e.runOne(idx, instances[idx])
+			}
+		}()
+	}
+	for idx := range instances {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	fleet := FleetMetrics{
+		Instances: len(instances),
+		Workers:   workers,
+		Wall:      time.Since(start),
+	}
+	for _, r := range results {
+		fleet.SolveWall += r.Wall
+		if r.Err != nil {
+			fleet.Errors++
+			continue
+		}
+		fleet.Solved++
+		fleet.CPUTime += r.Result.Metrics.CPUTime
+		fleet.IOTime += r.Result.Metrics.IOTime
+		fleet.Faults += r.Result.Metrics.IO.Faults
+		fleet.Pairs += r.Result.Size
+		fleet.Cost += r.Result.Cost
+	}
+	return &BatchResult{Results: results, Fleet: fleet}, nil
+}
+
+// runOne executes a single instance on its own dataset handle.
+func (e *Engine) runOne(idx int, in Instance) InstanceResult {
+	out := InstanceResult{Index: idx, Label: in.Label, Solver: e.solverFor(in)}
+	begin := time.Now()
+	defer func() { out.Wall = time.Since(begin) }()
+
+	handle, err := in.Customers.Clone()
+	if err != nil {
+		out.Err = fmt.Errorf("cca: engine: instance %d: clone dataset: %w", idx, err)
+		return out
+	}
+	defer handle.Close()
+
+	res, err := Solve(out.Solver, in.Providers, handle, &in.Options)
+	if err != nil {
+		out.Err = fmt.Errorf("cca: engine: instance %d (%s): %w", idx, out.Solver, err)
+		return out
+	}
+	out.Solver = res.Solver // canonicalize aliases/casing ("SM" → "greedy")
+	out.Result = res
+	return out
+}

@@ -137,7 +137,7 @@ func hilbertGroups(pts []geo.Point, space geo.Rect, delta float64) []group {
 	return groups
 }
 
-// refine distributes customers P'' among providers Q'' (with per-provider
+// refine distributes customers P” among providers Q” (with per-provider
 // budgets) using the requested heuristic, appending pairs to out.
 // Both heuristics run on small in-memory sets, as §4.3 prescribes.
 func refine(method Refinement, providers []core.Provider, budgets []int,

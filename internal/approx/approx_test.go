@@ -122,10 +122,10 @@ func TestApproxWithinBounds(t *testing.T) {
 		opt := in.optimal()
 		gamma := in.gamma()
 		for _, tc := range []struct {
-			name   string
-			run    func(Options) (*Result, error)
-			delta  float64
-			bound  float64
+			name  string
+			run   func(Options) (*Result, error)
+			delta float64
+			bound float64
 		}{
 			{"SA/NN", func(o Options) (*Result, error) { return SA(in.providers, in.tree, o) }, 60, SABound(gamma, 60)},
 			{"SA/excl", func(o Options) (*Result, error) {
@@ -269,7 +269,7 @@ func TestCAConceptualLeafSplit(t *testing.T) {
 	}
 }
 
-// The refinement heuristics must respect budgets and assign min(|P''|,
+// The refinement heuristics must respect budgets and assign min(|P”|,
 // Σbudgets) customers.
 func TestRefinementBudgets(t *testing.T) {
 	providers := []core.Provider{

@@ -102,6 +102,10 @@ type Options struct {
 	// (q,p) pair; 0 means 1 (the exact CCA setting). CA's concise
 	// matching runs with an unbounded pair capacity (§4.2).
 	PairCapacity int
+	// Metric computes edge costs (default geo.Euclidean). Non-Euclidean
+	// metrics must satisfy the lower-bound contract documented on
+	// geo.Metric for the exact algorithms' pruning to remain exact.
+	Metric geo.Metric
 
 	// customCaps records whether the caller provided CustomerCap, so
 	// γ computation can skip the full scan for unit capacities.
@@ -125,6 +129,9 @@ func (o Options) withDefaults() Options {
 	if o.Space.IsEmpty() {
 		o.Space = DefaultSpace
 	}
+	if o.Metric == nil {
+		o.Metric = geo.Euclidean
+	}
 	o.customCaps = o.CustomerCap != nil
 	if o.CustomerCap == nil {
 		o.CustomerCap = func(int64) int { return 1 }
@@ -138,6 +145,15 @@ func flowProviders(providers []Provider) []flowgraph.Provider {
 		out[i] = flowgraph.Provider{Pt: p.Pt, Cap: p.Cap}
 	}
 	return out
+}
+
+// newFlowGraph builds the residual graph configured by opts (metric and
+// per-pair capacity). opts must already carry defaults.
+func newFlowGraph(providers []Provider, complete bool, opts Options) *flowgraph.Graph {
+	g := flowgraph.NewGraph(flowProviders(providers), complete)
+	g.SetMetric(opts.Metric)
+	g.SetPairCapacity(opts.PairCapacity)
+	return g
 }
 
 // gammaFor computes γ = min(Σ q.k, Σ p.cap) for a tree-resident P.

@@ -108,11 +108,11 @@ func checkValid(t *testing.T, in *instance, res *Result, wantSize int) {
 // oracle's optimal cost.
 func TestExactAlgorithmsOptimal(t *testing.T) {
 	cases := []struct {
-		name       string
-		nq, nc, k  int
+		name      string
+		nq, nc, k int
 	}{
-		{"under-capacitated", 4, 60, 5},  // k·|Q| < |P|: providers fill up
-		{"over-capacitated", 4, 30, 10},  // k·|Q| > |P|: customers run out
+		{"under-capacitated", 4, 60, 5}, // k·|Q| < |P|: providers fill up
+		{"over-capacitated", 4, 30, 10}, // k·|Q| > |P|: customers run out
 		{"exact fit", 3, 30, 10},
 		{"single provider", 1, 25, 10},
 		{"k=1 matching", 6, 40, 1},

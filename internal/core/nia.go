@@ -43,8 +43,7 @@ func newIncRunner(providers []Provider, tree *rtree.Tree, opts Options, m *Metri
 	} else {
 		nn = rtree.NewANNSearch(tree, pts, opts.Space, opts.ANNGroupSize)
 	}
-	g := flowgraph.NewGraph(flowProviders(providers), false)
-	g.SetPairCapacity(opts.PairCapacity)
+	g := newFlowGraph(providers, false, opts)
 	r := &incRunner{
 		g:       g,
 		tree:    tree,
@@ -238,5 +237,7 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 	m.CPUTime = time.Since(start)
 	m.IO = io.delta()
 	m.IOTime = m.IO.IOTime()
-	return finish(r.g, m), nil
+	res := finish(r.g, m)
+	r.g.Release()
+	return res, nil
 }

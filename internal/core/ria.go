@@ -3,7 +3,6 @@ package core
 import (
 	"time"
 
-	"repro/internal/flowgraph"
 	"repro/internal/rtree"
 )
 
@@ -17,8 +16,7 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	start := time.Now()
 	io := snapshotIO(tree.Buffer())
 
-	g := flowgraph.NewGraph(flowProviders(providers), false)
-	g.SetPairCapacity(opts.PairCapacity)
+	g := newFlowGraph(providers, false, opts)
 	custIdx := make(map[int64]int32)
 	m := Metrics{FullGraphEdges: len(providers) * tree.Size()}
 
@@ -79,5 +77,7 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	m.CPUTime = time.Since(start)
 	m.IO = io.delta()
 	m.IOTime = m.IO.IOTime()
-	return finish(g, m), nil
+	res := finish(g, m)
+	g.Release()
+	return res, nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"time"
 
-	"repro/internal/flowgraph"
 	"repro/internal/rtree"
 )
 
@@ -15,8 +14,7 @@ import (
 func SSPA(providers []Provider, customers []rtree.Item, opts Options) *Result {
 	opts = opts.withDefaults()
 	start := time.Now()
-	g := flowgraph.NewGraph(flowProviders(providers), true)
-	g.SetPairCapacity(opts.PairCapacity)
+	g := newFlowGraph(providers, true, opts)
 	custTotal := 0
 	for _, c := range customers {
 		cap := opts.CustomerCap(c.ID)
@@ -41,6 +39,7 @@ func SSPA(providers []Provider, customers []rtree.Item, opts Options) *Result {
 		CPUTime:        time.Since(start),
 	}
 	res := finish(g, m)
+	g.Release()
 	// SSPA's conceptual subgraph is the complete graph.
 	res.Metrics.SubgraphEdges = res.Metrics.FullGraphEdges
 	return res

@@ -60,11 +60,11 @@ func TestCommentsAndBlanksSkipped(t *testing.T) {
 
 func TestReadErrors(t *testing.T) {
 	cases := map[string]string{
-		"wrong field count":    "1,2\n",
-		"bad x":                "x,2,3\n",
-		"bad capacity":         "1,2,three\n",
-		"zero capacity":        "1,2,0\n",
-		"negative capacity":    "1,2,-5\n",
+		"wrong field count": "1,2\n",
+		"bad x":             "x,2,3\n",
+		"bad capacity":      "1,2,three\n",
+		"zero capacity":     "1,2,0\n",
+		"negative capacity": "1,2,-5\n",
 	}
 	for name, src := range cases {
 		t.Run(name, func(t *testing.T) {

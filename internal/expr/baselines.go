@@ -3,7 +3,6 @@ package expr
 import (
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -39,16 +38,14 @@ func BaselineScaling(s float64, out io.Writer) ([]Row, error) {
 		}
 		label := fmt.Sprintf("|Q|=%d,|P|=%d", p.NQ, p.NP)
 
-		start := time.Now()
-		hung, err := core.HungarianAssign(w.Providers, w.Items)
-		hungRow := Row{Label: label, Algo: "Hungarian"}
+		hungRow, err := runExact("hungarian", w, coreOptions(p))
 		if err != nil {
 			// The §2.1 blow-up: report as an unavailable point.
-			hungRow.Algo = "Hungarian(refused)"
+			hungRow = Row{Algo: "Hungarian(refused)"}
 		} else {
-			hungRow.CPU = time.Since(start)
-			hungRow.Cost = hung.Cost
+			hungRow.Algo = "Hungarian"
 		}
+		hungRow.Label = label
 		rows = append(rows, hungRow)
 
 		sspaRow, err := runExact("SSPA", w, coreOptions(p))

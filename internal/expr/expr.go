@@ -25,6 +25,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/geo"
 	"repro/internal/rtree"
+	"repro/internal/solver"
 	"repro/internal/storage"
 )
 
@@ -77,6 +78,13 @@ type Workload struct {
 	Tree      *rtree.Tree
 	Buffer    *storage.Buffer
 	Items     []rtree.Item
+}
+
+// Dataset adapts the workload for registry solvers. The items are
+// served from memory, so the main-memory baselines (SSPA, Hungarian)
+// incur no tree I/O — matching how the paper charges them.
+func (w *Workload) Dataset() solver.Dataset {
+	return solver.FromTreeItems(w.Tree, w.Items)
 }
 
 // Build generates a workload: points on a synthetic road network
@@ -145,29 +153,16 @@ type Row struct {
 	KeyUpd  int // IDA key updates
 }
 
-// runExact executes one exact algorithm cold (cache dropped, stats reset)
-// and converts the result into a Row.
+// runExact executes one algorithm cold (cache dropped, stats reset) by
+// registry name and converts the result into a Row.
 func runExact(algo string, w *Workload, opts core.Options) (Row, error) {
+	s, err := solver.Get(algo)
+	if err != nil {
+		return Row{}, fmt.Errorf("expr: %w", err)
+	}
 	w.Buffer.DropCache()
 	w.Buffer.ResetStats()
-	var (
-		res *core.Result
-		err error
-	)
-	switch algo {
-	case "RIA":
-		res, err = core.RIA(w.Providers, w.Tree, opts)
-	case "NIA":
-		res, err = core.NIA(w.Providers, w.Tree, opts)
-	case "IDA":
-		res, err = core.IDA(w.Providers, w.Tree, opts)
-	case "SM":
-		res, err = core.SMJoin(w.Providers, w.Tree, opts)
-	case "SSPA":
-		res = core.SSPA(w.Providers, w.Items, opts)
-	default:
-		return Row{}, fmt.Errorf("expr: unknown algorithm %q", algo)
-	}
+	res, err := s.Solve(w.Providers, w.Dataset(), solver.Options{Core: opts})
 	if err != nil {
 		return Row{}, fmt.Errorf("expr: %s: %w", algo, err)
 	}

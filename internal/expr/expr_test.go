@@ -5,7 +5,6 @@ import (
 	"math"
 	"strings"
 	"testing"
-
 )
 
 // tiny scale keeps the harness tests fast while still exercising every

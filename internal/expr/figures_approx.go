@@ -6,41 +6,39 @@ import (
 	"time"
 
 	"repro/internal/approx"
+	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/solver"
 )
 
-// approxVariant names one approximate configuration: SA or CA with the
-// NN-based ("N") or exclusive-NN ("E") refinement — the paper's SAN,
-// SAE, CAN, CAE series.
+// approxVariant names one approximate configuration: a registry solver
+// (sa or ca) with the NN-based ("N") or exclusive-NN ("E") refinement —
+// the paper's SAN, SAE, CAN, CAE series.
 type approxVariant struct {
 	name   string
-	sa     bool
-	refine approx.Refinement
+	solver string
+	refine solver.Refinement
 }
 
 var approxVariants = []approxVariant{
-	{"SAN", true, approx.RefineNN},
-	{"SAE", true, approx.RefineExclusive},
-	{"CAN", false, approx.RefineNN},
-	{"CAE", false, approx.RefineExclusive},
+	{"SAN", "sa", solver.RefineNN},
+	{"SAE", "sa", solver.RefineExclusive},
+	{"CAN", "ca", solver.RefineNN},
+	{"CAE", "ca", solver.RefineExclusive},
 }
 
 // runApprox executes one approximate variant cold and fills a Row; opt
 // is the optimal cost used for the quality ratio.
 func runApprox(v approxVariant, w *Workload, delta float64, opt float64) (Row, error) {
+	s, err := solver.Get(v.solver)
+	if err != nil {
+		return Row{}, fmt.Errorf("expr: %w", err)
+	}
 	w.Buffer.DropCache()
 	w.Buffer.ResetStats()
 	io0 := w.Buffer.Stats()
-	opts := approx.Options{Delta: delta, Refinement: v.refine, Space: Space}
-	var (
-		res *approx.Result
-		err error
-	)
-	if v.sa {
-		res, err = approx.SA(w.Providers, w.Tree, opts)
-	} else {
-		res, err = approx.CA(w.Providers, w.Tree, opts)
-	}
+	opts := solver.Options{Delta: delta, Refinement: v.refine, Core: core.Options{Space: Space}}
+	res, err := s.Solve(w.Providers, w.Dataset(), opts)
 	if err != nil {
 		return Row{}, fmt.Errorf("expr: %s: %w", v.name, err)
 	}
@@ -65,7 +63,7 @@ func runApprox(v approxVariant, w *Workload, delta float64, opt float64) (Row, e
 // deltaFor returns the paper's tuned δ per method (40 for SA, 10 for CA)
 // used by Figures 15–18.
 func deltaFor(v approxVariant) float64 {
-	if v.sa {
+	if v.solver == "sa" {
 		return approx.DefaultDeltaSA
 	}
 	return approx.DefaultDeltaCA

@@ -6,10 +6,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/solver"
 )
 
-// exactAlgos are the incremental methods compared in Figures 9–13.
+// exactAlgos are the incremental methods compared in Figures 9–13,
+// resolved by name through the solver registry.
 var exactAlgos = []string{"RIA", "NIA", "IDA"}
+
+// SetExactAlgos overrides the solver set swept by Figures 9–13 after
+// validating every name against the registry (ccabench's -algos flag).
+func SetExactAlgos(names []string) error {
+	for _, n := range names {
+		if _, err := solver.Get(n); err != nil {
+			return err
+		}
+	}
+	exactAlgos = names
+	return nil
+}
+
+// ExactAlgos returns the solver names currently swept by Figures 9–13.
+func ExactAlgos() []string { return append([]string(nil), exactAlgos...) }
 
 // sweepExact runs the exact algorithms over a list of parameter points.
 func sweepExact(points []Params, labels []string, algos []string) ([]Row, error) {

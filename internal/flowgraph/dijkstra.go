@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/pqueue"
 )
@@ -20,8 +21,8 @@ type searchState struct {
 	heapAt  []int64 // epoch when heapIt is valid
 	visited []NodeID
 
-	heap   pqueue.Heap[NodeID]   // Hd: the main Dijkstra frontier
-	repair pqueue.Heap[NodeID]   // Hf: the PUA repair frontier
+	heap   pqueue.Heap[NodeID] // Hd: the main Dijkstra frontier
+	repair pqueue.Heap[NodeID] // Hf: the PUA repair frontier
 	repIt  []*pqueue.Item[NodeID]
 	repAt  []int64
 
@@ -29,8 +30,40 @@ type searchState struct {
 	vmin  NodeID  // finalized non-full customer realizing tBest
 }
 
-func (s *searchState) init(n int) {
+// statePool recycles searchState scratch across graphs, so back-to-back
+// solves (the batch engine's workload) stop allocating label arrays and
+// heap storage. The epoch counter is deliberately preserved across
+// reuses: it only ever increments, so stamps written by a previous owner
+// can never equal a later owner's epoch and the arrays need no zeroing.
+var statePool = sync.Pool{New: func() any { return &searchState{} }}
+
+// acquireSearchState returns a pooled searchState grown to n nodes with
+// empty heaps.
+func acquireSearchState(n int) *searchState {
+	s := statePool.Get().(*searchState)
 	s.grow(n)
+	s.heap.Clear()
+	s.repair.Clear()
+	s.visited = s.visited[:0]
+	s.tBest = math.Inf(1)
+	s.vmin = -1
+	return s
+}
+
+// release returns the state to the pool. Handle arrays are nilled so
+// the pooled state does not pin the last solve's pqueue items (Clear
+// truncates the heaps but keeps their backing arrays; the nil stores
+// below make the retained slots unreachable too).
+func (s *searchState) release() {
+	s.heap.Clear()
+	s.repair.Clear()
+	for i := range s.heapIt {
+		s.heapIt[i] = nil
+	}
+	for i := range s.repIt {
+		s.repIt[i] = nil
+	}
+	statePool.Put(s)
 }
 
 func (s *searchState) grow(n int) {
@@ -53,7 +86,7 @@ func (s *searchState) done(v NodeID) bool { return s.doneAt[v] == s.epoch }
 // residual graph: the frontier is seeded with every non-full provider at
 // α(q) = w(s,q) = q.τ − s.τ.
 func (g *Graph) BeginIteration() {
-	s := &g.search
+	s := g.search
 	s.epoch++
 	s.grow(len(g.providers) + len(g.customers))
 	s.heap.Clear()
@@ -84,7 +117,7 @@ func (g *Graph) BeginIteration() {
 // and the path cost (vmin.α in the paper's terms). ok is false when the
 // sink is unreachable in the current Esub.
 func (g *Graph) Search() (vmin NodeID, cost float64, ok bool) {
-	s := &g.search
+	s := g.search
 	for s.heap.Len() > 0 {
 		if top := s.heap.Peek(); top.Key() >= s.tBest {
 			break
@@ -124,7 +157,7 @@ func (g *Graph) Search() (vmin NodeID, cost float64, ok bool) {
 
 // relaxProvider relaxes every forward residual edge out of provider q.
 func (g *Graph) relaxProvider(q int32) {
-	s := &g.search
+	s := g.search
 	base := s.alpha[q] - g.tau[q]
 	if g.complete {
 		for c := range g.customers {
@@ -149,7 +182,7 @@ func (g *Graph) relaxProvider(q int32) {
 // relaxCustomer relaxes the reversed residual edges out of customer c
 // (one per provider c is assigned to).
 func (g *Graph) relaxCustomer(c int32) {
-	s := &g.search
+	s := g.search
 	node := g.customerNode(c)
 	base := s.alpha[node] - g.tau[node]
 	for _, q := range g.assigned[c] {
@@ -169,7 +202,7 @@ func (g *Graph) relax(v NodeID, nd float64, from NodeID) {
 // instead of restarting Dijkstra. Call Search afterwards to resume.
 func (g *Graph) InsertEdgeAndRepair(q, c int32) {
 	d := g.AddEdge(q, c)
-	s := &g.search
+	s := g.search
 	g.stats.Resumes++
 	if !s.seen(NodeID(q)) {
 		// q unreached so far: the new edge cannot shorten anything yet;
@@ -195,7 +228,7 @@ const improveEps = 1e-12
 // offer is PUA's relaxation: like relax, but improvements to finalized
 // nodes are queued on the repair heap Hf so they propagate onward.
 func (g *Graph) offer(v NodeID, nd float64, from NodeID) {
-	s := &g.search
+	s := g.search
 	if s.seen(v) && nd >= s.alpha[v]-improveEps {
 		return
 	}
@@ -229,7 +262,7 @@ func (g *Graph) offer(v NodeID, nd float64, from NodeID) {
 // drainRepair propagates PUA improvements in ascending α order until the
 // settled region is consistent again.
 func (g *Graph) drainRepair() {
-	s := &g.search
+	s := g.search
 	for s.repair.Len() > 0 {
 		it := s.repair.Pop()
 		v := it.Value
@@ -266,7 +299,7 @@ var ErrNoPath = errors.New("flowgraph: no augmenting path to apply")
 // are updated by τ(v) += sp.cost − α(v), exactly as SSPA does (Algorithm
 // 1, Lines 4–11).
 func (g *Graph) Augment() error {
-	s := &g.search
+	s := g.search
 	if s.vmin < 0 {
 		return ErrNoPath
 	}

@@ -53,8 +53,8 @@ func TestPaperFigure2Example(t *testing.T) {
 	//   y² = 49-(-22/7+3)² = 49-1/49 = 2400/49.
 	q2 := geo.Point{X: -22.0 / 7, Y: math.Sqrt(2400) / 7}
 	providers := []Provider{
-		{Pt: geo.Point{X: 0, Y: 0}, Cap: 1},  // q1
-		{Pt: q2, Cap: 2},                     // q2
+		{Pt: geo.Point{X: 0, Y: 0}, Cap: 1}, // q1
+		{Pt: q2, Cap: 2},                    // q2
 	}
 	customers := []Customer{
 		{Pt: geo.Point{X: 4, Y: 0}, Cap: 1, ExtID: 1},  // p1

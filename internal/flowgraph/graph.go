@@ -110,7 +110,11 @@ type Graph struct {
 	// found with SearchLabelCorrecting (see spfa.go).
 	noPotentials bool
 
-	search searchState
+	// metric computes edge costs (default geo.Euclidean). See geo.Metric
+	// for the lower-bound contract non-Euclidean metrics must satisfy.
+	metric geo.Metric
+
+	search *searchState
 	stats  Stats
 }
 
@@ -118,6 +122,10 @@ type Graph struct {
 // true the graph behaves as the full bipartite graph over all customers
 // added so far (SSPA baseline); otherwise only explicitly added edges
 // exist (the incremental algorithms).
+//
+// The Dijkstra scratch state is drawn from a shared pool; callers that
+// solve many instances back to back should call Release when done with
+// the graph so repeated solves stop allocating.
 func NewGraph(providers []Provider, complete bool) *Graph {
 	g := &Graph{
 		providers: providers,
@@ -126,12 +134,35 @@ func NewGraph(providers []Provider, complete bool) *Graph {
 		tau:       make([]float64, len(providers)),
 		lastAlpha: make([]float64, len(providers)),
 		complete:  complete,
+		metric:    geo.Euclidean,
 	}
 	for i := range g.lastAlpha {
 		g.lastAlpha[i] = 0
 	}
-	g.search.init(len(providers))
+	g.search = acquireSearchState(len(providers))
 	return g
+}
+
+// SetMetric installs the edge-cost metric. Must be called before any
+// customer or edge is added; the default is geo.Euclidean.
+func (g *Graph) SetMetric(m geo.Metric) {
+	if m != nil {
+		g.metric = m
+	}
+}
+
+// Metric returns the edge-cost metric in use.
+func (g *Graph) Metric() geo.Metric { return g.metric }
+
+// Release returns the graph's pooled Dijkstra scratch state for reuse.
+// The graph must not be searched or augmented afterwards; reading the
+// matching (Pairs, Cost, Stats) remains valid. Calling Release more
+// than once is a no-op.
+func (g *Graph) Release() {
+	if g.search != nil {
+		g.search.release()
+		g.search = nil
+	}
 }
 
 // NumProviders returns |Q|.
@@ -174,7 +205,7 @@ func (g *Graph) AddCustomer(pt geo.Point, cap int, extID int64) int32 {
 
 // AddEdge inserts the forward edge q→c into Esub and returns its length.
 func (g *Graph) AddEdge(q, c int32) float64 {
-	d := g.providers[q].Pt.Dist(g.customers[c].Pt)
+	d := g.metric.Dist(g.providers[q].Pt, g.customers[c].Pt)
 	g.adj[q] = append(g.adj[q], halfEdge{cust: c, dist: d})
 	g.edgeCount++
 	return d
@@ -229,7 +260,7 @@ func (g *Graph) Pairs() []Pair {
 				Customer: c,
 				CustID:   g.customers[c].ExtID,
 				CustPt:   g.customers[c].Pt,
-				Dist:     g.providers[q].Pt.Dist(g.customers[c].Pt),
+				Dist:     g.dist(q, int32(c)),
 			})
 		}
 	}
@@ -241,7 +272,7 @@ func (g *Graph) Cost() float64 {
 	total := 0.0
 	for c := range g.customers {
 		for _, q := range g.assigned[c] {
-			total += g.providers[q].Pt.Dist(g.customers[c].Pt)
+			total += g.dist(q, int32(c))
 		}
 	}
 	return total
@@ -340,7 +371,7 @@ func (g *Graph) LeaveFastPhase(lastLen float64) {
 	g.tauMax = lastLen
 }
 
-// dist returns the Euclidean distance between provider q and customer c.
+// dist returns the metric distance between provider q and customer c.
 func (g *Graph) dist(q, c int32) float64 {
-	return g.providers[q].Pt.Dist(g.customers[c].Pt)
+	return g.metric.Dist(g.providers[q].Pt, g.customers[c].Pt)
 }

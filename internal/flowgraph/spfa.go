@@ -23,7 +23,7 @@ func (g *Graph) DisablePotentials() { g.noPotentials = true }
 // cycles in a min-cost-flow residual graph built from optimal prefixes,
 // so the search terminates.
 func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
-	s := &g.search
+	s := g.search
 	s.epoch++
 	n := len(g.providers) + len(g.customers)
 	s.grow(n)
@@ -126,7 +126,7 @@ const sinkSeed NodeID = -2
 //
 // It returns whether cNew was swapped in.
 func (g *Graph) SwapArrival(cNew int32) (bool, error) {
-	s := &g.search
+	s := g.search
 	s.epoch++
 	n := len(g.providers) + len(g.customers)
 	s.grow(n)

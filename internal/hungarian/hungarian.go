@@ -43,10 +43,10 @@ func Solve(cost [][]float64) ([]int, float64, error) {
 	}
 
 	// 1-based arrays per the classical formulation.
-	u := make([]float64, n+1)      // row duals
-	v := make([]float64, m+1)      // column duals
-	match := make([]int, m+1)      // column -> row (0 = free)
-	way := make([]int, m+1)        // alternating-path back-pointers
+	u := make([]float64, n+1) // row duals
+	v := make([]float64, m+1) // column duals
+	match := make([]int, m+1) // column -> row (0 = free)
+	way := make([]int, m+1)   // alternating-path back-pointers
 	for i := 1; i <= n; i++ {
 		match[0] = i
 		j0 := 0

@@ -86,10 +86,13 @@ func (h *Heap[T]) Remove(it *Item[T]) {
 	it.index = -1
 }
 
-// Clear empties the heap, invalidating all handles.
+// Clear empties the heap, invalidating all handles. Slots are nilled
+// so a cleared heap whose backing array is retained (e.g. in a pool)
+// does not pin the removed items.
 func (h *Heap[T]) Clear() {
-	for _, it := range h.items {
+	for i, it := range h.items {
 		it.index = -1
+		h.items[i] = nil
 	}
 	h.items = h.items[:0]
 }

@@ -159,4 +159,3 @@ func TestANNGroupSizes(t *testing.T) {
 		}
 	}
 }
-

@@ -1,0 +1,123 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// registry is the process-wide solver table. Registration happens in
+// init functions; lookups are concurrent-safe (the batch engine resolves
+// solvers from many workers).
+var registry = struct {
+	sync.RWMutex
+	byName  map[string]Solver
+	aliases map[string]string
+}{
+	byName:  make(map[string]Solver),
+	aliases: make(map[string]string),
+}
+
+// Register adds a solver under its canonical name (lower-cased). It
+// panics on a duplicate name: two algorithms claiming one name is a
+// programming error worth failing fast on.
+func Register(s Solver) {
+	name := strings.ToLower(s.Name())
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[name]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", name))
+	}
+	if _, dup := registry.aliases[name]; dup {
+		panic(fmt.Sprintf("solver: name %q already registered as an alias", name))
+	}
+	registry.byName[name] = s
+}
+
+// RegisterAlias maps an alternative name onto a canonical one (e.g.
+// "sm" → "greedy"). The canonical solver must already be registered.
+func RegisterAlias(alias, canonical string) {
+	alias, canonical = strings.ToLower(alias), strings.ToLower(canonical)
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.byName[canonical]; !ok {
+		panic(fmt.Sprintf("solver: alias %q targets unregistered solver %q", alias, canonical))
+	}
+	if _, dup := registry.byName[alias]; dup {
+		panic(fmt.Sprintf("solver: alias %q collides with a solver name", alias))
+	}
+	registry.aliases[alias] = canonical
+}
+
+// Get resolves a solver by name or alias, case-insensitively. The error
+// on a miss lists every registered name.
+func Get(name string) (Solver, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	registry.RLock()
+	defer registry.RUnlock()
+	if canonical, ok := registry.aliases[key]; ok {
+		key = canonical
+	}
+	if s, ok := registry.byName[key]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("solver: unknown solver %q (registered: %s)",
+		name, strings.Join(namesLocked(), ", "))
+}
+
+// MustGet is Get for static names; it panics on a miss.
+func MustGet(name string) Solver {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns every canonical solver name, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry.byName))
+	for name := range registry.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByKind returns the sorted canonical names of the solvers of one kind.
+func ByKind(k Kind) []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	var out []string
+	for name, s := range registry.byName {
+		if s.Kind() == k {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns one "name (kind): doc" line per registered solver,
+// sorted by name — the CLIs' -algo help text.
+func Describe() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.byName))
+	for _, name := range namesLocked() {
+		s := registry.byName[name]
+		line := fmt.Sprintf("%s (%s)", name, s.Kind())
+		if d, ok := s.(Doc); ok && d.Doc() != "" {
+			line += ": " + d.Doc()
+		}
+		out = append(out, line)
+	}
+	return out
+}

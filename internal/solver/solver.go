@@ -1,0 +1,162 @@
+// Package solver is the pluggable front door to every CCA algorithm in
+// the repository. Each algorithm — exact (IDA, NIA, RIA, SSPA,
+// Hungarian), approximate (SA, CA with their Theorem 3/4 error bounds)
+// and heuristic (the greedy SM join) — registers itself under a stable
+// name, and callers resolve solvers with Get instead of switching on
+// algorithm strings. The CLIs (ccarun, ccabench), the experiment
+// harness (internal/expr) and the public batch engine (cca.Engine) all
+// go through this registry, so adding a solver is one Register call.
+package solver
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+)
+
+// Kind classifies a solver's optimality guarantee.
+type Kind int
+
+const (
+	// Exact solvers produce the minimum-cost maximum matching.
+	Exact Kind = iota
+	// Approximate solvers carry a theoretical bound on the cost excess
+	// over the optimum (Result.ErrorBound).
+	Approximate
+	// Heuristic solvers produce a valid maximum matching with no cost
+	// guarantee.
+	Heuristic
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Exact:
+		return "exact"
+	case Approximate:
+		return "approximate"
+	case Heuristic:
+		return "heuristic"
+	default:
+		return "unknown"
+	}
+}
+
+// Dataset is the customer-side input a solver consumes: a disk-resident,
+// R-tree-indexed point set. *cca.Customers satisfies it; the experiment
+// harness adapts its workloads; FromTree wraps a bare tree.
+type Dataset interface {
+	// Tree returns the R-tree over the customers.
+	Tree() *rtree.Tree
+	// All returns every customer (used by the main-memory baselines).
+	All() ([]rtree.Item, error)
+	// Len returns the number of customers.
+	Len() int
+}
+
+// treeDataset adapts a bare R-tree to Dataset.
+type treeDataset struct{ tree *rtree.Tree }
+
+func (d treeDataset) Tree() *rtree.Tree          { return d.tree }
+func (d treeDataset) All() ([]rtree.Item, error) { return d.tree.All() }
+func (d treeDataset) Len() int                   { return d.tree.Size() }
+
+// FromTree wraps an R-tree as a Dataset.
+func FromTree(t *rtree.Tree) Dataset { return treeDataset{tree: t} }
+
+// itemsDataset adapts a tree plus a pre-loaded item slice, so the
+// main-memory baselines skip the tree scan (and its I/O charges).
+type itemsDataset struct {
+	tree  *rtree.Tree
+	items []rtree.Item
+}
+
+func (d itemsDataset) Tree() *rtree.Tree          { return d.tree }
+func (d itemsDataset) All() ([]rtree.Item, error) { return d.items, nil }
+func (d itemsDataset) Len() int                   { return len(d.items) }
+
+// FromTreeItems wraps an R-tree whose items the caller already holds in
+// memory; All returns them without touching the tree.
+func FromTreeItems(t *rtree.Tree, items []rtree.Item) Dataset {
+	return itemsDataset{tree: t, items: items}
+}
+
+// Options tunes a solve. The zero value selects every solver's paper
+// defaults.
+type Options struct {
+	// Core tunes the exact algorithms (θ, ablation switches, metric,
+	// data space); see core.Options.
+	Core core.Options
+	// Delta is the approximate solvers' group-diagonal bound δ
+	// (0 selects the paper's tuned default: 40 for SA, 10 for CA).
+	Delta float64
+	// Refinement selects the approximate solvers' expansion heuristic.
+	Refinement Refinement
+}
+
+// Result is a solver-agnostic outcome: the matching plus the metadata a
+// caller needs to interpret it without knowing which algorithm ran.
+type Result struct {
+	core.Result
+
+	// Solver is the canonical name of the solver that produced this.
+	Solver string
+	// Kind is the producing solver's guarantee class.
+	Kind Kind
+	// ErrorBound bounds Ψ(M) − Ψ(M_CCA) for Approximate solvers
+	// (Theorems 3 and 4); it is 0 for Exact solvers and undefined
+	// (also 0) for Heuristic ones.
+	ErrorBound float64
+	// Groups, ConciseEdges, ConciseTime and RefineTime carry the
+	// approximate solvers' phase breakdown (zero otherwise).
+	Groups       int
+	ConciseEdges int
+	ConciseTime  time.Duration
+	RefineTime   time.Duration
+}
+
+// Solver is one CCA algorithm.
+type Solver interface {
+	// Name returns the canonical registry name (e.g. "ida").
+	Name() string
+	// Kind returns the guarantee class.
+	Kind() Kind
+	// Solve computes a matching of providers to the dataset's customers.
+	Solve(providers []core.Provider, data Dataset, opts Options) (*Result, error)
+}
+
+// Doc describes a solver for help text; registered solvers implement it.
+type Doc interface {
+	Doc() string
+}
+
+// SolveFunc is the function form of Solver.Solve.
+type SolveFunc func(providers []core.Provider, data Dataset, opts Options) (*Result, error)
+
+// funcSolver is the registry's concrete Solver.
+type funcSolver struct {
+	name string
+	kind Kind
+	doc  string
+	fn   SolveFunc
+}
+
+func (s *funcSolver) Name() string { return s.name }
+func (s *funcSolver) Kind() Kind   { return s.kind }
+func (s *funcSolver) Doc() string  { return s.doc }
+func (s *funcSolver) Solve(providers []core.Provider, data Dataset, opts Options) (*Result, error) {
+	res, err := s.fn(providers, data, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Solver = s.name
+	res.Kind = s.kind
+	return res, nil
+}
+
+// New builds a Solver from a function; doc is a one-line description
+// used in CLI help output.
+func New(name string, kind Kind, doc string, fn SolveFunc) Solver {
+	return &funcSolver{name: name, kind: kind, doc: doc, fn: fn}
+}

@@ -1,0 +1,58 @@
+package cca
+
+import (
+	"repro/internal/solver"
+)
+
+// SolverKind classifies a solver's guarantee: exact, approximate (with
+// a theoretical error bound) or heuristic.
+type SolverKind = solver.Kind
+
+// Solver guarantee classes.
+const (
+	SolverExact       = solver.Exact
+	SolverApproximate = solver.Approximate
+	SolverHeuristic   = solver.Heuristic
+)
+
+// SolverOptions tunes a registry solve: core algorithm options plus the
+// approximate solvers' δ and refinement. The zero value selects every
+// solver's paper defaults.
+type SolverOptions = solver.Options
+
+// SolverResult is the uniform result of a registry solve: the matching
+// plus solver name, kind, and (for approximate solvers) the Theorem 3/4
+// error bound and phase breakdown.
+type SolverResult = solver.Result
+
+// Solve runs the named solver from the registry on one CCA instance.
+// Names are case-insensitive; see Solvers for what is available. Pass
+// nil opts for the defaults.
+//
+//	res, err := cca.Solve("ca", providers, customers, nil)
+//	if err == nil && res.Kind == cca.SolverApproximate {
+//	    fmt.Println("within", res.ErrorBound, "of optimal")
+//	}
+func Solve(name string, providers []Provider, customers *Customers, opts *SolverOptions) (*SolverResult, error) {
+	s, err := solver.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	var o SolverOptions
+	if opts != nil {
+		o = *opts
+	}
+	return s.Solve(providers, customers, o)
+}
+
+// Solvers returns the canonical names of every registered solver,
+// sorted.
+func Solvers() []string { return solver.Names() }
+
+// SolversOfKind returns the sorted names of the registered solvers with
+// the given guarantee class.
+func SolversOfKind(k SolverKind) []string { return solver.ByKind(k) }
+
+// DescribeSolvers returns one human-readable line per registered solver
+// ("name (kind): description"), for help text.
+func DescribeSolvers() []string { return solver.Describe() }
