@@ -53,13 +53,14 @@ func GreedyAssign(providers []Provider, customers *Customers, opts *Options) (*R
 // Hungarian (Kuhn–Munkres) algorithm on a dense (Σ q.k)·|P| cost matrix
 // (§2.1). It reads all customers into memory and refuses absurdly large
 // instances — the exact limitation that motivates the paper's
-// incremental algorithms. For baselines and tiny instances only.
-func AssignHungarian(providers []Provider, customers *Customers) (*Result, error) {
+// incremental algorithms. For baselines and tiny instances only. Pass
+// nil opts for the defaults.
+func AssignHungarian(providers []Provider, customers *Customers, opts *Options) (*Result, error) {
 	items, err := customers.All()
 	if err != nil {
 		return nil, err
 	}
-	return core.HungarianAssign(providers, items)
+	return core.HungarianAssign(providers, items, opt(opts))
 }
 
 // Refinement selects the approximation refinement heuristic (§4.3).

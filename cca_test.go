@@ -209,7 +209,7 @@ func TestPublicHungarian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hung, err := AssignHungarian(providers, customers)
+	hung, err := AssignHungarian(providers, customers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,14 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "cardinality scale factor (1.0 = paper size)")
 	algos := flag.String("algos", "", "comma-separated solver names swept by the exact figures\n(default "+
 		strings.Join(expr.ExactAlgos(), ",")+"; registered: "+strings.Join(solver.Names(), ",")+")")
+	metric := flag.String("metric", "euclidean", `distance backend: "euclidean" (the paper's setting) or
+"network" (shortest-path distance on the generated road network)`)
 	flag.Parse()
+
+	if err := expr.SetMetric(*metric); err != nil {
+		fmt.Fprintf(os.Stderr, "ccabench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *algos != "" {
 		names := strings.Split(*algos, ",")

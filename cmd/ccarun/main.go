@@ -19,6 +19,8 @@ import (
 
 	cca "repro"
 	"repro/internal/dataio"
+	"repro/internal/expr"
+	"repro/internal/geo/netmetric"
 )
 
 func main() {
@@ -28,7 +30,12 @@ func main() {
 		algo     = flag.String("algo", "ida", "solver name: "+strings.Join(cca.Solvers(), " | "))
 		delta    = flag.Float64("delta", 0, "δ for the approximate solvers (0 = paper default)")
 		theta    = flag.Float64("theta", 0.8, "θ for ria")
-		outPath  = flag.String("out", "", "write the matching CSV here")
+		metric   = flag.String("metric", "euclidean", `distance backend: "euclidean" or "network"
+(network = shortest-path over the synthetic road network; use the same
+-netgrid/-netseed the workload was generated with)`)
+		netGrid = flag.Int("netgrid", 32, "road network grid size for -metric network (ccagen's -grid)")
+		netSeed = flag.Int64("netseed", 2008, "road network seed for -metric network (ccagen's -seed)")
+		outPath = flag.String("out", "", "write the matching CSV here")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nregistered solvers:\n", os.Args[0])
@@ -56,6 +63,20 @@ func main() {
 	opts := cca.SolverOptions{Delta: *delta}
 	opts.Core.Theta = *theta
 
+	var netMetric *netmetric.NetworkMetric
+	switch strings.ToLower(*metric) {
+	case "", "euclidean":
+	case netmetric.Name:
+		// Rebuild the road network the workload was generated on (ccagen
+		// uses the same grid/seed/space recipe) and measure edge costs as
+		// shortest-path travel distances over it.
+		netMetric = cca.RoadNetworkMetric(*netGrid, expr.Space, *netSeed).(*netmetric.NetworkMetric)
+		opts.Core.Metric = netMetric
+	default:
+		fmt.Fprintf(os.Stderr, "ccarun: unknown metric %q (available: euclidean, network)\n", *metric)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	res, err := cca.Solve(*algo, providers, customers, &opts)
 	if err != nil {
@@ -66,6 +87,13 @@ func main() {
 
 	io := customers.IOStats()
 	fmt.Printf("algorithm      %s (%s)\n", strings.ToUpper(res.Solver), res.Kind)
+	if netMetric != nil {
+		st := netMetric.Stats()
+		fmt.Printf("metric         network (%d nodes, %d edges; node-cache hit rate %.1f%%)\n",
+			netMetric.NumNodes(), netMetric.NumEdges(), 100*st.NodeHitRate())
+	} else {
+		fmt.Printf("metric         euclidean\n")
+	}
 	fmt.Printf("providers      %d (total capacity %d)\n", len(providers), totalCap(providers))
 	fmt.Printf("customers      %d\n", customers.Len())
 	fmt.Printf("matching size  %d\n", res.Size)

@@ -1,0 +1,89 @@
+package cca
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
+)
+
+// networkBatch builds a batch whose every instance shares ONE
+// NetworkMetric — the deployment shape the metric's concurrent caches
+// exist for: engine workers race on the snap and node-pair maps while
+// solving independent scenarios. Run under -race (the CI test job does)
+// this is the engine/metric thread-safety test the issue calls for.
+func networkBatch(t testing.TB, instances int) ([]Instance, *Customers, *netmetric.NetworkMetric) {
+	t.Helper()
+	space := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+	net := datagen.NewNetwork(16, space, 2008)
+	metric := netmetric.FromNetwork(net)
+
+	cpts := net.Points(datagen.Config{N: 500, Dist: datagen.Clustered, Seed: 5})
+	customers, err := IndexCustomers(cpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Instance, instances)
+	for i := range batch {
+		qpts := net.Points(datagen.Config{N: 3 + i%3, Dist: datagen.Uniform, Seed: int64(100 + i)})
+		caps := datagen.Capacities(len(qpts), 2, 8, int64(i))
+		providers := make([]Provider, len(qpts))
+		for q := range providers {
+			providers[q] = Provider{Pt: qpts[q], Cap: caps[q]}
+		}
+		in := Instance{
+			Label:     fmt.Sprintf("net-%d", i),
+			Providers: providers,
+			Customers: customers,
+			Solver:    []string{"ida", "nia", "ria", "greedy"}[i%4],
+		}
+		in.Options.Core.Metric = metric
+		batch[i] = in
+	}
+	return batch, customers, metric
+}
+
+// TestEngineBatchNetworkMetric runs a parallel batch over one shared
+// NetworkMetric and asserts (a) no result depends on scheduling — the
+// parallel run is byte-identical to the sequential one even though the
+// second run hits a cache warmed in racy order — and (b) the shared
+// caches actually absorbed work across instances.
+func TestEngineBatchNetworkMetric(t *testing.T) {
+	batch, customers, metric := networkBatch(t, 12)
+	defer customers.Close()
+
+	seq, err := (&Engine{Workers: 1}).Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&Engine{Workers: 8}).Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Fleet.Solved != len(batch) || par.Fleet.Solved != len(batch) {
+		t.Fatalf("solved %d/%d of %d", seq.Fleet.Solved, par.Fleet.Solved, len(batch))
+	}
+	for i := range batch {
+		a, b := fingerprint(seq.Results[i]), fingerprint(par.Results[i])
+		if a != b {
+			t.Errorf("instance %d diverged under the shared metric:\nsequential: %s\nparallel:   %s", i, a, b)
+		}
+	}
+	st := metric.Stats()
+	if st.NodeHits == 0 || st.SnapHits == 0 {
+		t.Errorf("shared metric caches never hit across the batch: %+v", st)
+	}
+	// Exact instances must validate under the network metric too: the
+	// validator checks structure and cost-sum consistency, which are
+	// metric-independent.
+	for i, r := range par.Results {
+		if batch[i].Solver == "greedy" {
+			continue
+		}
+		if err := Validate(batch[i].Providers, customers, &r.Result.Result); err != nil {
+			t.Errorf("instance %d: %v", i, err)
+		}
+	}
+}

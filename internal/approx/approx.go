@@ -93,6 +93,12 @@ func (o Options) withDefaults(isSA bool) Options {
 	if o.Space.IsEmpty() {
 		o.Space = core.DefaultSpace
 	}
+	if o.Core.Metric == nil {
+		// Resolve the metric here too (core does its own defaulting):
+		// the refinement phase measures pair distances directly, and they
+		// must be in the same metric the concise matching optimized.
+		o.Core.Metric = geo.Euclidean
+	}
 	return o
 }
 
@@ -138,23 +144,26 @@ func hilbertGroups(pts []geo.Point, space geo.Rect, delta float64) []group {
 }
 
 // refine distributes customers P” among providers Q” (with per-provider
-// budgets) using the requested heuristic, appending pairs to out.
-// Both heuristics run on small in-memory sets, as §4.3 prescribes.
-func refine(method Refinement, providers []core.Provider, budgets []int,
+// budgets) using the requested heuristic, appending pairs to out. Pair
+// distances are measured in metric — the same one the concise matching
+// optimized — so Result.Cost stays consistent under non-Euclidean
+// backends. Both heuristics run on small in-memory sets, as §4.3
+// prescribes.
+func refine(method Refinement, metric geo.Metric, providers []core.Provider, budgets []int,
 	customers []rtree.Item, out *[]core.Pair) {
 	switch method {
 	case RefineExclusive:
-		refineExclusive(providers, budgets, customers, out)
+		refineExclusive(metric, providers, budgets, customers, out)
 	case RefineExact:
-		refineExact(providers, budgets, customers, out)
+		refineExact(metric, providers, budgets, customers, out)
 	default:
-		refineNN(providers, budgets, customers, out)
+		refineNN(metric, providers, budgets, customers, out)
 	}
 }
 
 // refineNN: round-robin over providers; each takes its nearest remaining
 // customer until its budget is exhausted.
-func refineNN(providers []core.Provider, budgets []int, customers []rtree.Item, out *[]core.Pair) {
+func refineNN(metric geo.Metric, providers []core.Provider, budgets []int, customers []rtree.Item, out *[]core.Pair) {
 	taken := make([]bool, len(customers))
 	remaining := len(customers)
 	budget := append([]int(nil), budgets...)
@@ -169,7 +178,7 @@ func refineNN(providers []core.Provider, budgets []int, customers []rtree.Item, 
 				if taken[ci] {
 					continue
 				}
-				if d := providers[qi].Pt.Dist(c.Pt); d < bestD {
+				if d := metric.Dist(providers[qi].Pt, c.Pt); d < bestD {
 					best, bestD = ci, d
 				}
 			}
@@ -195,7 +204,7 @@ func refineNN(providers []core.Provider, budgets []int, customers []rtree.Item, 
 
 // refineExclusive: repeatedly commit the globally closest pair between a
 // budgeted provider and an unassigned customer.
-func refineExclusive(providers []core.Provider, budgets []int, customers []rtree.Item, out *[]core.Pair) {
+func refineExclusive(metric geo.Metric, providers []core.Provider, budgets []int, customers []rtree.Item, out *[]core.Pair) {
 	taken := make([]bool, len(customers))
 	remaining := len(customers)
 	budget := append([]int(nil), budgets...)
@@ -213,7 +222,7 @@ func refineExclusive(providers []core.Provider, budgets []int, customers []rtree
 				if taken[ci] {
 					continue
 				}
-				if d := providers[qi].Pt.Dist(c.Pt); d < bd {
+				if d := metric.Dist(providers[qi].Pt, c.Pt); d < bd {
 					bq, bc, bd = qi, ci, d
 				}
 			}

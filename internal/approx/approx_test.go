@@ -284,7 +284,7 @@ func TestRefinementBudgets(t *testing.T) {
 	}
 	for _, method := range []Refinement{RefineNN, RefineExclusive} {
 		var out []core.Pair
-		refine(method, providers, []int{2, 2}, customers, &out)
+		refine(method, geo.Euclidean, providers, []int{2, 2}, customers, &out)
 		if len(out) != 4 {
 			t.Fatalf("%v: assigned %d of 4", method, len(out))
 		}
@@ -304,7 +304,7 @@ func TestRefinementBudgets(t *testing.T) {
 	}
 	// Budget smaller than customer count leaves the excess unassigned.
 	var out []core.Pair
-	refine(RefineNN, providers, []int{1, 0}, customers, &out)
+	refine(RefineNN, geo.Euclidean, providers, []int{1, 0}, customers, &out)
 	if len(out) != 1 {
 		t.Fatalf("limited budget: assigned %d want 1", len(out))
 	}

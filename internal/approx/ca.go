@@ -109,7 +109,7 @@ func CA(providers []core.Provider, tree *rtree.Tree, opts Options) (*Result, err
 			budgets[i] = instances[gi][q]
 		}
 		var local []core.Pair
-		refine(opts.Refinement, members, budgets, items, &local)
+		refine(opts.Refinement, opts.Core.Metric, members, budgets, items, &local)
 		for _, lp := range local {
 			pairs = append(pairs, core.Pair{
 				Provider:   provIdx[lp.Provider],

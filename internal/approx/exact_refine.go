@@ -2,6 +2,7 @@ package approx
 
 import (
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/hungarian"
 	"repro/internal/rtree"
 )
@@ -12,7 +13,7 @@ import (
 // groups are small under the paper's δ values, so it is offered as the
 // highest-quality refinement and as the reference point for the
 // refinement-quality ablation.
-func refineExact(providers []core.Provider, budgets []int, customers []rtree.Item, out *[]core.Pair) {
+func refineExact(metric geo.Metric, providers []core.Provider, budgets []int, customers []rtree.Item, out *[]core.Pair) {
 	slotOwner := make([]int, 0)
 	for qi, b := range budgets {
 		for i := 0; i < b; i++ {
@@ -40,14 +41,14 @@ func refineExact(providers []core.Provider, budgets []int, customers []rtree.Ite
 			} else {
 				qi, ci = slotOwner[r], c
 			}
-			cost[r][c] = providers[qi].Pt.Dist(customers[ci].Pt)
+			cost[r][c] = metric.Dist(providers[qi].Pt, customers[ci].Pt)
 		}
 	}
 	assign, _, err := hungarian.Solve(cost)
 	if err != nil {
 		// Cannot happen for well-formed rectangular input; degrade to the
 		// NN heuristic rather than dropping the group.
-		refineNN(providers, budgets, customers, out)
+		refineNN(metric, providers, budgets, customers, out)
 		return
 	}
 	for r, c := range assign {
@@ -61,7 +62,7 @@ func refineExact(providers []core.Provider, budgets []int, customers []rtree.Ite
 			Provider:   qi,
 			CustomerID: customers[ci].ID,
 			CustomerPt: customers[ci].Pt,
-			Dist:       providers[qi].Pt.Dist(customers[ci].Pt),
+			Dist:       metric.Dist(providers[qi].Pt, customers[ci].Pt),
 		})
 	}
 }

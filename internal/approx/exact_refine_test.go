@@ -48,7 +48,7 @@ func TestRefineExactUnit(t *testing.T) {
 		{ID: 2, Pt: geo.Point{X: 1, Y: 0}},
 	}
 	var out []core.Pair
-	refineExact(providers, []int{1, 2}, customers, &out)
+	refineExact(geo.Euclidean, providers, []int{1, 2}, customers, &out)
 	if len(out) != 3 {
 		t.Fatalf("assigned %d of 3", len(out))
 	}
@@ -71,11 +71,11 @@ func TestRefineExactUnit(t *testing.T) {
 
 	// Empty inputs are no-ops.
 	var empty []core.Pair
-	refineExact(providers, []int{0, 0}, customers, &empty)
+	refineExact(geo.Euclidean, providers, []int{0, 0}, customers, &empty)
 	if len(empty) != 0 {
 		t.Fatal("zero budgets must assign nothing")
 	}
-	refineExact(providers, []int{1, 1}, nil, &empty)
+	refineExact(geo.Euclidean, providers, []int{1, 1}, nil, &empty)
 	if len(empty) != 0 {
 		t.Fatal("no customers must assign nothing")
 	}
@@ -89,7 +89,7 @@ func TestRefineExactTransposed(t *testing.T) {
 	}
 	customers := []rtree.Item{{ID: 0, Pt: geo.Point{X: 9, Y: 0}}}
 	var out []core.Pair
-	refineExact(providers, []int{3, 3}, customers, &out)
+	refineExact(geo.Euclidean, providers, []int{3, 3}, customers, &out)
 	if len(out) != 1 || out[0].Provider != 1 {
 		t.Fatalf("want single assignment to the near provider, got %+v", out)
 	}

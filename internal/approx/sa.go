@@ -73,7 +73,7 @@ func SA(providers []core.Provider, tree *rtree.Tree, opts Options) (*Result, err
 			budgets[i] = providers[m].Cap
 		}
 		var local []core.Pair
-		refine(opts.Refinement, members, budgets, perGroup[gi], &local)
+		refine(opts.Refinement, opts.Core.Metric, members, budgets, perGroup[gi], &local)
 		for _, lp := range local {
 			pairs = append(pairs, core.Pair{
 				Provider:   g.members[lp.Provider],

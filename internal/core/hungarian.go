@@ -19,7 +19,8 @@ const maxHungarianCells = 64 << 20
 // (Σ q.k)·|P| cost matrix. Exact, but Θ(n³) time and Θ(n·m) memory — the
 // baseline the paper dismisses as "limited to small problem instances".
 // It exists to reproduce that claim; use IDA for real workloads.
-func HungarianAssign(providers []Provider, customers []rtree.Item) (*Result, error) {
+func HungarianAssign(providers []Provider, customers []rtree.Item, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
 	start := time.Now()
 	slots := 0
 	for _, p := range providers {
@@ -61,7 +62,7 @@ func HungarianAssign(providers []Provider, customers []rtree.Item) (*Result, err
 			} else {
 				qi, ci = slotOwner[r], c
 			}
-			cost[r][c] = providers[qi].Pt.Dist(customers[ci].Pt)
+			cost[r][c] = opts.Metric.Dist(providers[qi].Pt, customers[ci].Pt)
 		}
 	}
 	assign, total, err := hungarian.Solve(cost)
@@ -81,7 +82,7 @@ func HungarianAssign(providers []Provider, customers []rtree.Item) (*Result, err
 			Provider:   qi,
 			CustomerID: customers[ci].ID,
 			CustomerPt: customers[ci].Pt,
-			Dist:       providers[qi].Pt.Dist(customers[ci].Pt),
+			Dist:       opts.Metric.Dist(providers[qi].Pt, customers[ci].Pt),
 		})
 	}
 	return &Result{

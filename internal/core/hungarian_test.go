@@ -14,7 +14,7 @@ import (
 func TestHungarianMatchesOptimal(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := genInstance(t, 3, 25, 4, 700+seed) // slots=12 < |P|=25
-		res, err := HungarianAssign(in.providers, in.items)
+		res, err := HungarianAssign(in.providers, in.items, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +33,7 @@ func TestHungarianMatchesOptimal(t *testing.T) {
 // matrix path.
 func TestHungarianOverCapacitated(t *testing.T) {
 	in := genInstance(t, 3, 10, 6, 800) // slots=18 > |P|=10
-	res, err := HungarianAssign(in.providers, in.items)
+	res, err := HungarianAssign(in.providers, in.items, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +47,11 @@ func TestHungarianOverCapacitated(t *testing.T) {
 }
 
 func TestHungarianEmpty(t *testing.T) {
-	res, err := HungarianAssign(nil, nil)
+	res, err := HungarianAssign(nil, nil, Options{})
 	if err != nil || res.Size != 0 {
 		t.Fatalf("empty: %v %+v", err, res)
 	}
-	res, err = HungarianAssign([]Provider{{Pt: geo.Point{X: 1, Y: 1}, Cap: 2}}, nil)
+	res, err = HungarianAssign([]Provider{{Pt: geo.Point{X: 1, Y: 1}, Cap: 2}}, nil, Options{})
 	if err != nil || res.Size != 0 {
 		t.Fatalf("no customers: %v %+v", err, res)
 	}
@@ -65,7 +65,7 @@ func TestHungarianRefusesHugeMatrix(t *testing.T) {
 	for i := range items {
 		items[i] = rtree.Item{ID: int64(i), Pt: geo.Point{X: float64(i % 1000), Y: float64(i / 1000)}}
 	}
-	_, err := HungarianAssign(providers, items)
+	_, err := HungarianAssign(providers, items, Options{})
 	if err == nil || !strings.Contains(err.Error(), "IDA") {
 		t.Fatalf("expected the matrix blow-up refusal, got %v", err)
 	}
@@ -83,7 +83,7 @@ func TestHungarianDegenerate(t *testing.T) {
 		{ID: 1, Pt: geo.Point{X: 5, Y: 4}},
 		{ID: 2, Pt: geo.Point{X: 6, Y: 5}},
 	}
-	res, err := HungarianAssign(providers, items)
+	res, err := HungarianAssign(providers, items, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,15 @@ func newIncRunner(providers []Provider, tree *rtree.Tree, opts Options, m *Metri
 	} else {
 		nn = rtree.NewANNSearch(tree, pts, opts.Space, opts.ANNGroupSize)
 	}
+	if !geo.IsEuclidean(opts.Metric) {
+		// Non-Euclidean metric (e.g. road-network distance): the R-tree
+		// streams candidates in ascending Euclidean order, which only
+		// lower-bounds the true edge cost. Re-key the stream through the
+		// refinement heap so H pops edges in true metric order — that is
+		// what keeps the Theorem 1 gate (and IDA's Theorem 2 fast phase)
+		// exact under any lower-bounded metric.
+		nn = rtree.NewRefinedNN(nn, pts, opts.Metric)
+	}
 	g := newFlowGraph(providers, false, opts)
 	r := &incRunner{
 		g:       g,

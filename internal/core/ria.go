@@ -48,6 +48,12 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 		return nil, err
 	}
 
+	// Under a non-Euclidean metric the annular searches still prune by
+	// Euclidean distance, so an annulus may contain edges costing more
+	// than T — harmless extras. What keeps RIA exact is the converse:
+	// every *undiscovered* edge has Euclidean length > T, hence metric
+	// cost > T (the geo.Metric lower-bound contract), so T still
+	// lower-bounds Φ(E−Esub) in the Theorem 1 test below.
 	T := opts.Theta
 	if err := addAnnulus(-1, T); err != nil {
 		return nil, err

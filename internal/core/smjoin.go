@@ -30,6 +30,12 @@ func SMJoin(providers []Provider, tree *rtree.Tree, opts Options) (*Result, erro
 	} else {
 		nn = rtree.NewANNSearch(tree, pts, opts.Space, opts.ANNGroupSize)
 	}
+	if !geo.IsEuclidean(opts.Metric) {
+		// Greedily committing the globally closest pair only makes sense
+		// if "closest" is measured in the cost metric; refine the
+		// Euclidean candidate stream into true metric order.
+		nn = rtree.NewRefinedNN(nn, pts, opts.Metric)
+	}
 
 	gamma, err := gammaFor(providers, tree, opts)
 	if err != nil {

@@ -15,6 +15,7 @@
 package datagen
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -217,7 +218,14 @@ func Items(pts []geo.Point) []rtree.Item {
 
 // Capacities returns n provider capacities: fixed k when lo == hi, or
 // uniformly random in [lo, hi] (the mixed-capacity workloads of Fig 12).
+// It panics when lo <= 0: a zero-capacity provider is outside the
+// problem definition (every q.k >= 1, §2.1) and used to be produced
+// silently here, which could send SSPA's augmentation loop spinning on
+// providers that can never absorb flow.
 func Capacities(n, lo, hi int, seed int64) []int {
+	if lo <= 0 {
+		panic(fmt.Sprintf("datagen: Capacities lower bound must be >= 1, got lo=%d", lo))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]int, n)
 	for i := range out {

@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
 	"repro/internal/rtree"
 	"repro/internal/solver"
 	"repro/internal/storage"
@@ -31,6 +33,29 @@ import (
 
 // Space is the normalized data space of §5.1.
 var Space = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+
+// metricName selects the distance backend every Build attaches to its
+// workload: "euclidean" (the paper's setting, default) or "network"
+// (shortest-path distance over the same road network the points are
+// generated on). ccabench's -metric flag sets it.
+var metricName = geo.Euclidean.Name()
+
+// SetMetric selects the distance backend by name.
+func SetMetric(name string) error {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", geo.Euclidean.Name():
+		metricName = geo.Euclidean.Name()
+	case netmetric.Name:
+		metricName = netmetric.Name
+	default:
+		return fmt.Errorf("expr: unknown metric %q (available: %s, %s)",
+			name, geo.Euclidean.Name(), netmetric.Name)
+	}
+	return nil
+}
+
+// MetricName returns the selected distance backend's name.
+func MetricName() string { return metricName }
 
 // Params describes one experiment configuration (Table 2 plus
 // distribution selectors and a seed).
@@ -78,6 +103,11 @@ type Workload struct {
 	Tree      *rtree.Tree
 	Buffer    *storage.Buffer
 	Items     []rtree.Item
+	// Metric is the distance backend the workload was built for; nil
+	// means Euclidean. The shortest-path metric shares the road network
+	// the points were placed on, so network distances are meaningful
+	// travel distances, not detours to an unrelated graph.
+	Metric geo.Metric
 }
 
 // Dataset adapts the workload for registry solvers. The items are
@@ -92,6 +122,10 @@ func (w *Workload) Dataset() solver.Dataset {
 // 1% LRU buffer.
 func Build(p Params) (*Workload, error) {
 	net := datagen.NewNetwork(32, Space, p.Seed)
+	var metric geo.Metric
+	if metricName == netmetric.Name {
+		metric = netmetric.FromNetwork(net)
+	}
 	qpts := net.Points(datagen.Config{N: p.NQ, Dist: p.DistQ, Seed: p.Seed + 1})
 	ppts := net.Points(datagen.Config{N: p.NP, Dist: p.DistP, Seed: p.Seed + 2})
 
@@ -121,7 +155,7 @@ func Build(p Params) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Workload{Providers: providers, Tree: queryTree, Buffer: buf, Items: items}, nil
+	return &Workload{Providers: providers, Tree: queryTree, Buffer: buf, Items: items, Metric: metric}, nil
 }
 
 func (p Params) kLo() int {
@@ -159,6 +193,9 @@ func runExact(algo string, w *Workload, opts core.Options) (Row, error) {
 	s, err := solver.Get(algo)
 	if err != nil {
 		return Row{}, fmt.Errorf("expr: %w", err)
+	}
+	if w.Metric != nil {
+		opts.Metric = w.Metric
 	}
 	w.Buffer.DropCache()
 	w.Buffer.ResetStats()

@@ -37,7 +37,10 @@ func runApprox(v approxVariant, w *Workload, delta float64, opt float64) (Row, e
 	w.Buffer.DropCache()
 	w.Buffer.ResetStats()
 	io0 := w.Buffer.Stats()
-	opts := solver.Options{Delta: delta, Refinement: v.refine, Core: core.Options{Space: Space}}
+	// The workload's metric rides along so the quality ratio compares
+	// costs measured the same way as the exact reference. (Theorems 3–4
+	// bound the error for the Euclidean metric only.)
+	opts := solver.Options{Delta: delta, Refinement: v.refine, Core: core.Options{Space: Space, Metric: w.Metric}}
 	res, err := s.Solve(w.Providers, w.Dataset(), opts)
 	if err != nil {
 		return Row{}, fmt.Errorf("expr: %s: %w", v.name, err)

@@ -1,0 +1,80 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestSetMetric: selection, validation, and the workload actually
+// carrying the backend. Restores the default so sibling tests keep
+// running under Euclidean.
+func TestSetMetric(t *testing.T) {
+	defer func() {
+		if err := SetMetric("euclidean"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := SetMetric("no-such-metric"); err == nil {
+		t.Fatal("bogus metric accepted")
+	}
+	if MetricName() != "euclidean" {
+		t.Fatalf("failed SetMetric changed the selection to %q", MetricName())
+	}
+	if err := SetMetric("Network"); err != nil { // case-insensitive
+		t.Fatal(err)
+	}
+	if MetricName() != "network" {
+		t.Fatalf("MetricName = %q want network", MetricName())
+	}
+	w, err := Build(Default(testScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Metric == nil || w.Metric.Name() != "network" {
+		t.Fatalf("network workload carries metric %v", w.Metric)
+	}
+}
+
+// TestNetworkMetricFigurePoint runs one exact figure point under the
+// network backend: all exact algorithms must agree on cost, and that
+// cost must dominate the Euclidean one (network distance lower-bounds).
+func TestNetworkMetricFigurePoint(t *testing.T) {
+	p := Default(testScale)
+	euclid, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRow, err := runExact("ida", euclid, coreOptions(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := SetMetric("network"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetMetric("euclidean")
+	w, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costs []float64
+	for _, algo := range []string{"ida", "nia", "ria"} {
+		row, err := runExact(algo, w, coreOptions(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, row.Cost)
+	}
+	for _, c := range costs[1:] {
+		if math.Abs(c-costs[0]) > 1e-6*(1+costs[0]) {
+			t.Fatalf("exact algorithms disagree under network metric: %v", costs)
+		}
+	}
+	if costs[0] < baseRow.Cost-1e-6 {
+		t.Fatalf("network-metric cost %.3f below Euclidean optimum %.3f (violates the lower bound)",
+			costs[0], baseRow.Cost)
+	}
+	var _ geo.Metric = w.Metric // the workload exposes the backend to callers
+}

@@ -1,6 +1,10 @@
 package flowgraph
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/geo"
+)
 
 // RefSolve computes the optimal CCA matching with a deliberately simple
 // successive-shortest-path algorithm: Bellman–Ford on the explicit
@@ -17,12 +21,24 @@ func RefSolve(providers []Provider, customers []Customer) ([]Pair, float64) {
 // matching uses an effectively unbounded pair capacity). Repeated
 // instances of a pair are reported as repeated Pairs.
 func RefSolveCap(providers []Provider, customers []Customer, pairCap int) ([]Pair, float64) {
+	return RefSolveMetric(providers, customers, pairCap, geo.Euclidean)
+}
+
+// RefSolveMetric is RefSolveCap under an arbitrary edge-cost metric —
+// the cross-metric conformance suites compare every exact solver against
+// it under the road-network distance backend. The oracle materializes
+// the complete cost matrix up front, so it never depends on the R-tree
+// pruning machinery whose metric-soundness is under test.
+func RefSolveMetric(providers []Provider, customers []Customer, pairCap int, metric geo.Metric) ([]Pair, float64) {
+	if metric == nil {
+		metric = geo.Euclidean
+	}
 	nq, nc := len(providers), len(customers)
 	dist := make([][]float64, nq)
 	for q := range dist {
 		dist[q] = make([]float64, nc)
 		for c := range dist[q] {
-			dist[q][c] = providers[q].Pt.Dist(customers[c].Pt)
+			dist[q][c] = metric.Dist(providers[q].Pt, customers[c].Pt)
 		}
 	}
 	provUsed := make([]int, nq)

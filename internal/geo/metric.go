@@ -31,3 +31,15 @@ func (EuclideanMetric) Dist(p, q Point) float64 { return p.Dist(q) }
 
 // Euclidean is the shared default Metric instance.
 var Euclidean Metric = EuclideanMetric{}
+
+// IsEuclidean reports whether m is the straight-line metric (or nil,
+// which every consumer defaults to Euclidean). Callers use it to skip
+// the metric-refinement machinery when the R-tree's native Euclidean
+// ordering is already exact.
+func IsEuclidean(m Metric) bool {
+	if m == nil {
+		return true
+	}
+	_, ok := m.(EuclideanMetric)
+	return ok
+}

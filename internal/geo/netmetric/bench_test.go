@@ -1,0 +1,74 @@
+package netmetric
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geo"
+)
+
+// BenchmarkNetworkMetric measures Dist on the paper-shaped workload
+// (clustered points on a 32x32 network) and reports the node-pair cache
+// hit rate — the number that decides whether shared-metric batches
+// amortize their Dijkstras.
+func BenchmarkNetworkMetric(b *testing.B) {
+	net := datagen.NewNetwork(32, space, 2008)
+	pts := net.Points(datagen.Config{N: 4096, Dist: datagen.Clustered, Seed: 1})
+	m := FromNetwork(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		q := pts[(i*31+7)%len(pts)]
+		m.Dist(p, q)
+	}
+	b.StopTimer()
+	st := m.Stats()
+	b.ReportMetric(st.NodeHitRate(), "node-cache-hit-rate")
+	b.ReportMetric(float64(st.NodeMisses), "dijkstras")
+}
+
+// BenchmarkNetworkMetricCold isolates the uncached cost: every
+// iteration queries a fresh metric, so each Dist pays its snap and
+// bidirectional Dijkstra in full.
+func BenchmarkNetworkMetricCold(b *testing.B) {
+	net := datagen.NewNetwork(32, space, 2008)
+	pts := net.Points(datagen.Config{N: 256, Dist: datagen.Uniform, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := FromNetwork(net)
+		m.Dist(pts[i%len(pts)], pts[(i+1)%len(pts)])
+	}
+}
+
+// BenchmarkNetworkMetricParallel exercises the concurrent read path the
+// engine's workers take against a warm shared cache.
+func BenchmarkNetworkMetricParallel(b *testing.B) {
+	net := datagen.NewNetwork(32, space, 2008)
+	pts := net.Points(datagen.Config{N: 1024, Dist: datagen.Clustered, Seed: 3})
+	m := FromNetwork(net)
+	// Warm the caches.
+	for i := 0; i+1 < len(pts); i += 2 {
+		m.Dist(pts[i], pts[i+1])
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Dist(pts[i%len(pts)], pts[(i*17+5)%len(pts)])
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(m.Stats().NodeHitRate(), "node-cache-hit-rate")
+}
+
+var sinkDist float64
+
+// BenchmarkEuclideanBaseline anchors the comparison: the straight-line
+// metric the rest of the repo defaults to.
+func BenchmarkEuclideanBaseline(b *testing.B) {
+	pts := datagen.NewNetwork(32, space, 2008).Points(datagen.Config{N: 1024, Dist: datagen.Clustered, Seed: 3})
+	for i := 0; i < b.N; i++ {
+		sinkDist = geo.Euclidean.Dist(pts[i%len(pts)], pts[(i*17+5)%len(pts)])
+	}
+}

@@ -1,0 +1,116 @@
+package netmetric
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/pqueue"
+)
+
+// bidiScratch is the pooled label state of one bidirectional Dijkstra:
+// forward and backward distance labels with settled marks, epoch-stamped
+// so reuse pays no O(V) re-initialization.
+type bidiScratch struct {
+	epoch  int64
+	dist   [2][]float64
+	seenAt [2][]int64
+	doneAt [2][]int64
+	heap   [2]pqueue.Heap[int32]
+}
+
+var bidiPool = sync.Pool{New: func() any { return &bidiScratch{} }}
+
+func (s *bidiScratch) reset(n int) {
+	s.epoch++
+	for side := 0; side < 2; side++ {
+		for len(s.dist[side]) < n {
+			s.dist[side] = append(s.dist[side], 0)
+			s.seenAt[side] = append(s.seenAt[side], 0)
+			s.doneAt[side] = append(s.doneAt[side], 0)
+		}
+		s.heap[side].Clear()
+	}
+}
+
+func (s *bidiScratch) seen(side int, v int32) bool { return s.seenAt[side][v] == s.epoch }
+func (s *bidiScratch) done(side int, v int32) bool { return s.doneAt[side][v] == s.epoch }
+
+func (s *bidiScratch) label(side int, v int32) float64 {
+	if s.seen(side, v) {
+		return s.dist[side][v]
+	}
+	return math.Inf(1)
+}
+
+// bidiDijkstra returns the shortest-path distance from src to dst by
+// growing Dijkstra balls from both endpoints and stopping when the two
+// frontiers together can no longer improve the best meeting point. The
+// graph is undirected, so the backward search uses the same adjacency.
+func (m *NetworkMetric) bidiDijkstra(src, dst int32) float64 {
+	s := bidiPool.Get().(*bidiScratch)
+	defer bidiPool.Put(s)
+	s.reset(len(m.nodes))
+
+	start := [2]int32{src, dst}
+	for side := 0; side < 2; side++ {
+		v := start[side]
+		s.dist[side][v] = 0
+		s.seenAt[side][v] = s.epoch
+		s.heap[side].Push(v, 0)
+	}
+	best := math.Inf(1)
+	for {
+		topF, topB := s.heap[0].Peek(), s.heap[1].Peek()
+		if topF == nil && topB == nil {
+			break
+		}
+		fKey, bKey := math.Inf(1), math.Inf(1)
+		if topF != nil {
+			fKey = topF.Key()
+		}
+		if topB != nil {
+			bKey = topB.Key()
+		}
+		// Termination: every undiscovered meeting point costs at least
+		// the sum of the two frontier minima. (When one search has
+		// exhausted its heap the sum is +Inf and we stop: an exhausted
+		// side has settled everything reachable from its endpoint, so
+		// best is already exact — or the endpoints are disconnected.)
+		if fKey+bKey >= best {
+			break
+		}
+		// Expand the side with the smaller frontier key.
+		side := 0
+		if bKey < fKey {
+			side = 1
+		}
+		top := s.heap[side].Pop()
+		v, dv := top.Value, top.Key()
+		if s.done(side, v) {
+			continue // stale entry from lazy decrease-key
+		}
+		s.doneAt[side][v] = s.epoch
+		other := 1 - side
+		for _, a := range m.adj[v] {
+			nd := dv + a.length
+			if nd < s.label(side, a.to) {
+				s.dist[side][a.to] = nd
+				s.seenAt[side][a.to] = s.epoch
+				// Lazy decrease-key: push a fresh entry, skip stale pops.
+				s.heap[side].Push(a.to, nd)
+			}
+			// Meeting point: settled-or-labeled on the other side.
+			if s.seen(other, a.to) {
+				if cand := nd + s.dist[other][a.to]; cand < best {
+					best = cand
+				}
+			}
+		}
+		if s.seen(other, v) {
+			if cand := dv + s.dist[other][v]; cand < best {
+				best = cand
+			}
+		}
+	}
+	return best
+}

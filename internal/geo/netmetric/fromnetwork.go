@@ -1,0 +1,15 @@
+package netmetric
+
+import "repro/internal/datagen"
+
+// FromNetwork builds the shortest-path metric over a datagen road
+// network. datagen networks always have valid edges, so construction
+// cannot fail; a panic here means the Network was built by hand with
+// out-of-range endpoints.
+func FromNetwork(n *datagen.Network) *NetworkMetric {
+	m, err := New(n.Nodes, n.Edges)
+	if err != nil {
+		panic("netmetric: invalid datagen network: " + err.Error())
+	}
+	return m
+}

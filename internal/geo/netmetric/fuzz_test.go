@@ -1,0 +1,76 @@
+package netmetric
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geo"
+)
+
+// fuzzMetric is the shared fuzz-target network; building it once keeps
+// the per-input cost at a few cached lookups.
+var fuzzMetric = sync.OnceValue(func() *NetworkMetric {
+	return FromNetwork(datagen.NewNetwork(12, space, 2008))
+})
+
+// clampToSpace pulls arbitrary fuzzed coordinates into a sane window
+// around the data space (2x the space on every side), discarding NaN and
+// infinities: the metric contract is stated over finite points.
+func clampToSpace(v float64) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	lo, hi := -1000.0, 2000.0
+	return math.Max(lo, math.Min(hi, v)), true
+}
+
+// FuzzMetricContract asserts the geo.Metric contract plus the
+// lower-bound property the exact algorithms' pruning relies on:
+// non-negativity, symmetry, Dist >= Euclidean, and the triangle
+// inequality for shortest-path distances between snapped nodes.
+func FuzzMetricContract(f *testing.F) {
+	f.Add(0.0, 0.0, 1000.0, 1000.0, 500.0, 500.0)
+	f.Add(13.5, 900.25, 800.0, 17.75, 1.0, 2.0)
+	f.Add(-50.0, 1200.0, 333.3, 333.3, 999.0, 0.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3 float64) {
+		coords := [6]float64{x1, y1, x2, y2, x3, y3}
+		for i, v := range coords {
+			c, ok := clampToSpace(v)
+			if !ok {
+				t.Skip("non-finite input")
+			}
+			coords[i] = c
+		}
+		p := geo.Point{X: coords[0], Y: coords[1]}
+		q := geo.Point{X: coords[2], Y: coords[3]}
+		r := geo.Point{X: coords[4], Y: coords[5]}
+		m := fuzzMetric()
+
+		dpq := m.Dist(p, q)
+		if dpq < 0 {
+			t.Fatalf("negative distance %g for %v -> %v", dpq, p, q)
+		}
+		if dqp := m.Dist(q, p); math.Abs(dpq-dqp) > 1e-9*(1+dpq) {
+			t.Fatalf("asymmetric: Dist(p,q)=%g Dist(q,p)=%g", dpq, dqp)
+		}
+		if euclid := p.Dist(q); dpq < euclid-1e-9*(1+euclid) {
+			t.Fatalf("lower bound violated: network %g < Euclidean %g for %v -> %v",
+				dpq, euclid, p, q)
+		}
+
+		// Triangle inequality on the snapped nodes (shortest-path node
+		// distances are a true metric; the point-level Dist is not,
+		// because snap offsets are paid per call).
+		a, b, c := m.SnapNode(p), m.SnapNode(q), m.SnapNode(r)
+		ab, bc, ac := m.NodeDist(a, b), m.NodeDist(b, c), m.NodeDist(a, c)
+		if ac > ab+bc+1e-9*(1+ac) {
+			t.Fatalf("node triangle inequality violated: d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g+%g",
+				a, c, ac, a, b, b, c, ab, bc)
+		}
+		if aa := m.NodeDist(a, a); aa != 0 {
+			t.Fatalf("NodeDist(%d,%d) = %g, want 0", a, a, aa)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package netmetric
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// snapGrid is a uniform spatial hash over the real network edges, used
+// to answer nearest-edge queries without scanning every segment. Each
+// cell lists the edges whose bounding box overlaps it; a query scans
+// cells in expanding rings around the query point until the scanned
+// box's boundary is farther than the best segment found.
+type snapGrid struct {
+	bounds       geo.Rect
+	nx, ny       int
+	cellW, cellH float64
+	cells        [][]int32
+}
+
+func buildSnapGrid(nodes []geo.Point, edges [][2]int32) snapGrid {
+	bounds := geo.EmptyRect()
+	for _, e := range edges {
+		bounds = bounds.ExtendPoint(nodes[e[0]]).ExtendPoint(nodes[e[1]])
+	}
+	// Aim for O(1) edges per cell on a roughly uniform network.
+	n := int(math.Sqrt(float64(len(edges))))
+	if n < 1 {
+		n = 1
+	}
+	g := snapGrid{bounds: bounds, nx: n, ny: n}
+	g.cellW = (bounds.Max.X - bounds.Min.X) / float64(n)
+	g.cellH = (bounds.Max.Y - bounds.Min.Y) / float64(n)
+	if g.cellW <= 0 {
+		g.cellW = 1
+	}
+	if g.cellH <= 0 {
+		g.cellH = 1
+	}
+	g.cells = make([][]int32, n*n)
+	for ei, e := range edges {
+		mbr := geo.RectFromPoint(nodes[e[0]]).ExtendPoint(nodes[e[1]])
+		x0, y0 := g.cellOf(mbr.Min)
+		x1, y1 := g.cellOf(mbr.Max)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				g.cells[y*g.nx+x] = append(g.cells[y*g.nx+x], int32(ei))
+			}
+		}
+	}
+	return g
+}
+
+// cellOf returns p's cell coordinates, clamped into the grid.
+func (g *snapGrid) cellOf(p geo.Point) (int, int) {
+	x := int((p.X - g.bounds.Min.X) / g.cellW)
+	y := int((p.Y - g.bounds.Min.Y) / g.cellH)
+	return clampInt(x, 0, g.nx-1), clampInt(y, 0, g.ny-1)
+}
+
+// nearestEdge returns the index of the edge whose segment is closest to
+// p. Ring r scans the cells at Chebyshev distance r from p's cell; the
+// search stops once the boundary of the fully-scanned box is farther
+// than the best segment seen (any unseen edge lies entirely outside that
+// box, so it cannot be closer).
+func (g *snapGrid) nearestEdge(p geo.Point, nodes []geo.Point, edges [][2]int32) int32 {
+	cx, cy := g.cellOf(p)
+	best := math.Inf(1)
+	bestEdge := int32(0)
+	maxR := g.nx
+	if g.ny > maxR {
+		maxR = g.ny
+	}
+	for r := 0; r <= maxR; r++ {
+		if !math.IsInf(best, 1) && g.scannedBoxClearance(p, cx, cy, r-1) > best {
+			break
+		}
+		g.scanRing(cx, cy, r, func(ei int32) {
+			e := edges[ei]
+			_, pos := projectOntoSegment(p, nodes[e[0]], nodes[e[1]])
+			if d := p.Dist(pos); d < best {
+				best = d
+				bestEdge = ei
+			}
+		})
+	}
+	return bestEdge
+}
+
+// scannedBoxClearance returns the distance from p to the boundary of the
+// box of cells [cx-r..cx+r]×[cy-r..cy+r] (clamped to the grid); +Inf
+// when the box already covers the whole grid, since then every edge has
+// been scanned.
+func (g *snapGrid) scannedBoxClearance(p geo.Point, cx, cy, r int) float64 {
+	if r < 0 {
+		return 0
+	}
+	x0, x1 := cx-r, cx+r
+	y0, y1 := cy-r, cy+r
+	if x0 <= 0 && y0 <= 0 && x1 >= g.nx-1 && y1 >= g.ny-1 {
+		return math.Inf(1)
+	}
+	clear := math.Inf(1)
+	if x0 > 0 {
+		clear = math.Min(clear, p.X-(g.bounds.Min.X+float64(x0)*g.cellW))
+	}
+	if x1 < g.nx-1 {
+		clear = math.Min(clear, g.bounds.Min.X+float64(x1+1)*g.cellW-p.X)
+	}
+	if y0 > 0 {
+		clear = math.Min(clear, p.Y-(g.bounds.Min.Y+float64(y0)*g.cellH))
+	}
+	if y1 < g.ny-1 {
+		clear = math.Min(clear, g.bounds.Min.Y+float64(y1+1)*g.cellH-p.Y)
+	}
+	return clear
+}
+
+// scanRing visits every edge listed in the cells at Chebyshev distance r
+// from (cx, cy), skipping cells outside the grid.
+func (g *snapGrid) scanRing(cx, cy, r int, visit func(int32)) {
+	if r == 0 {
+		g.scanCell(cx, cy, visit)
+		return
+	}
+	for x := cx - r; x <= cx+r; x++ {
+		g.scanCell(x, cy-r, visit)
+		g.scanCell(x, cy+r, visit)
+	}
+	for y := cy - r + 1; y <= cy+r-1; y++ {
+		g.scanCell(cx-r, y, visit)
+		g.scanCell(cx+r, y, visit)
+	}
+}
+
+func (g *snapGrid) scanCell(x, y int, visit func(int32)) {
+	if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+		return
+	}
+	for _, ei := range g.cells[y*g.nx+x] {
+		visit(ei)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+package rtree
+
+import (
+	"repro/internal/geo"
+	"repro/internal/pqueue"
+)
+
+// RefinedNN adapts an NNSource that reports candidates in ascending
+// *Euclidean* order into one that reports them in ascending order of an
+// arbitrary metric, provided the metric lower-bounds to Euclidean
+// distance (metric.Dist(p,q) >= p.Dist(q), the geo.Metric contract for
+// non-Euclidean backends — e.g. road-network shortest-path distance).
+//
+// It is the filter-and-refine step of spatial query processing: the base
+// source streams candidates keyed by the cheap lower bound; each is
+// re-keyed by its true metric distance on a per-query refinement heap;
+// a candidate is emitted once its true distance is no greater than the
+// lower bound of every candidate the base source has not yet produced.
+// Because the base emits in ascending Euclidean order, that bound is
+// simply the Euclidean key of the most recent candidate.
+//
+// Wrapping the shared ANN search (§3.4.2) preserves its I/O sharing: the
+// refinement heaps sit on top of whatever page traversal the base does.
+type RefinedNN struct {
+	base      NNSource
+	queries   []geo.Point
+	metric    geo.Metric
+	res       []pqueue.Heap[Item] // refinement heap per query, keyed by true distance
+	lastLB    []float64           // last lower bound the base reported per query
+	exhausted []bool
+}
+
+// NewRefinedNN wraps base, re-keying its stream by metric distance. base
+// must yield each query's candidates in ascending Euclidean order (both
+// PerQueryNN and ANNSearch do), and metric must satisfy the lower-bound
+// contract; otherwise the emitted order is undefined.
+func NewRefinedNN(base NNSource, queries []geo.Point, metric geo.Metric) *RefinedNN {
+	return &RefinedNN{
+		base:      base,
+		queries:   queries,
+		metric:    metric,
+		res:       make([]pqueue.Heap[Item], len(queries)),
+		lastLB:    make([]float64, len(queries)),
+		exhausted: make([]bool, len(queries)),
+	}
+}
+
+// Next implements NNSource: query qi's next neighbor in ascending metric
+// distance, with the true (metric) distance returned.
+func (s *RefinedNN) Next(qi int) (Item, float64, bool, error) {
+	h := &s.res[qi]
+	for {
+		if top := h.Peek(); top != nil && (s.exhausted[qi] || top.Key() <= s.lastLB[qi]) {
+			// Every unseen candidate has metric distance >= its Euclidean
+			// distance >= lastLB >= top's true distance: top is final.
+			it := h.Pop()
+			return it.Value, it.Key(), true, nil
+		}
+		if s.exhausted[qi] {
+			return Item{}, 0, false, nil
+		}
+		item, lb, ok, err := s.base.Next(qi)
+		if err != nil {
+			return Item{}, 0, false, err
+		}
+		if !ok {
+			s.exhausted[qi] = true
+			continue
+		}
+		s.lastLB[qi] = lb
+		h.Push(item, s.metric.Dist(s.queries[qi], item.Pt))
+	}
+}
+
+// ensure interface compliance
+var _ NNSource = (*RefinedNN)(nil)

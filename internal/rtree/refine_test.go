@@ -1,0 +1,117 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// warpedMetric is a deliberately non-Euclidean test metric that honors
+// the lower-bound contract: Dist = euclid * (1.5 + 0.5·sin(x_p+x_q)),
+// always in [euclid, 2·euclid], symmetric, and it reorders neighbors
+// relative to Euclidean distance.
+type warpedMetric struct{}
+
+func (warpedMetric) Name() string { return "warped" }
+func (warpedMetric) Dist(p, q geo.Point) float64 {
+	return p.Dist(q) * (1.5 + 0.5*math.Sin(p.X+q.X))
+}
+
+func refinedOver(tr *Tree, queries []geo.Point, ann bool) *RefinedNN {
+	var base NNSource
+	if ann {
+		base = NewANNSearch(tr, queries, testSpace, 4)
+	} else {
+		base = NewPerQueryNN(tr, queries)
+	}
+	return NewRefinedNN(base, queries, warpedMetric{})
+}
+
+// RefinedNN must stream every item exactly once, in ascending *metric*
+// order, with the metric distance as the reported key — over both base
+// sources.
+func TestRefinedNNMatchesBruteForce(t *testing.T) {
+	items := randItems(600, 51)
+	queries := randQueries(6, 53)
+	m := warpedMetric{}
+	for name, ann := range map[string]bool{"per-query": false, "ann": true} {
+		t.Run(name, func(t *testing.T) {
+			src := refinedOver(bulkTree(t, items), queries, ann)
+			for qi, q := range queries {
+				want := make([]float64, 0, len(items))
+				for _, it := range items {
+					want = append(want, m.Dist(q, it.Pt))
+				}
+				sort.Float64s(want)
+				seen := make(map[int64]bool)
+				for k := range want {
+					it, d, ok, err := src.Next(qi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						t.Fatalf("q%d exhausted at rank %d of %d", qi, k, len(want))
+					}
+					if seen[it.ID] {
+						t.Fatalf("q%d: item %d delivered twice", qi, it.ID)
+					}
+					seen[it.ID] = true
+					if math.Abs(d-want[k]) > 1e-9 {
+						t.Fatalf("q%d rank %d: got %f want %f", qi, k, d, want[k])
+					}
+					if got := m.Dist(q, it.Pt); math.Abs(got-d) > 1e-9 {
+						t.Fatalf("q%d rank %d: reported key %f is not the metric distance %f", qi, k, d, got)
+					}
+				}
+				if _, _, ok, _ := src.Next(qi); ok {
+					t.Fatalf("q%d: source yielded more than %d items", qi, len(items))
+				}
+			}
+		})
+	}
+}
+
+// Under the Euclidean metric the refinement layer must be a transparent
+// pass-through (same order, same distances).
+func TestRefinedNNEuclideanPassThrough(t *testing.T) {
+	items := randItems(200, 57)
+	queries := randQueries(3, 59)
+	tr := bulkTree(t, items)
+	plain := NewPerQueryNN(tr, queries)
+	refined := NewRefinedNN(NewPerQueryNN(bulkTree(t, items), queries), queries, geo.Euclidean)
+	for qi := range queries {
+		for k := 0; k < len(items); k++ {
+			pi, pd, pok, _ := plain.Next(qi)
+			ri, rd, rok, _ := refined.Next(qi)
+			if pok != rok || (pok && (pi.ID != ri.ID || math.Abs(pd-rd) > 1e-12)) {
+				t.Fatalf("q%d rank %d: plain (%v,%f,%v) != refined (%v,%f,%v)",
+					qi, k, pi.ID, pd, pok, ri.ID, rd, rok)
+			}
+		}
+	}
+}
+
+// Interleaved consumption across queries must not cross-contaminate the
+// per-query refinement heaps.
+func TestRefinedNNInterleaved(t *testing.T) {
+	items := randItems(150, 61)
+	queries := randQueries(4, 63)
+	m := warpedMetric{}
+	src := refinedOver(bulkTree(t, items), queries, true)
+	prev := make([]float64, len(queries))
+	for round := 0; round < 30; round++ {
+		for qi := range queries {
+			_, d, ok, err := src.Next(qi)
+			if err != nil || !ok {
+				t.Fatalf("q%d round %d: ok=%v err=%v", qi, round, ok, err)
+			}
+			if d < prev[qi]-1e-9 {
+				t.Fatalf("q%d round %d: distance went backwards (%f after %f)", qi, round, d, prev[qi])
+			}
+			prev[qi] = d
+			_ = m
+		}
+	}
+}

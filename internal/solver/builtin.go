@@ -87,7 +87,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return core.HungarianAssign(p, items)
+			return core.HungarianAssign(p, items, o.Core)
 		})))
 	Register(New("greedy", Heuristic,
 		"greedy exclusive-closest-pair spatial matching join (§2.3 related work)",

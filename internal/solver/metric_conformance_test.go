@@ -1,0 +1,199 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/flowgraph"
+	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
+)
+
+// netSpace is the conformance suite's data space.
+var netSpace = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+
+// networkInstance draws one CCA instance with both sides placed on a
+// road network (the paper's §5.1 setting), plus — on every third seed —
+// one off-network provider, so snapping with a non-zero offset is
+// exercised too. Odd seeds are γ-limited.
+func networkInstance(net *datagen.Network, seed int64) ([]core.Provider, []geo.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	nq := 2 + rng.Intn(4)
+	np := 8 + rng.Intn(40)
+	qpts := net.Points(datagen.Config{N: nq, Dist: datagen.Uniform, Seed: seed * 11})
+	providers := make([]core.Provider, nq)
+	for i := range providers {
+		cap := 1 + rng.Intn(5)
+		if seed%2 == 1 {
+			cap += np/nq + 1 // γ-limited: the customer side binds
+		}
+		providers[i] = core.Provider{Pt: qpts[i], Cap: cap}
+	}
+	if seed%3 == 0 {
+		providers[0].Pt = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	pts := net.Points(datagen.Config{N: np, Dist: datagen.Clustered, Seed: seed * 13})
+	return providers, pts
+}
+
+// refCost computes the optimal cost under an arbitrary metric with the
+// independent Bellman–Ford oracle (no R-tree, no potentials, full cost
+// matrix) — the ground truth the registry solvers must reproduce.
+func refCost(providers []core.Provider, pts []geo.Point, m geo.Metric) float64 {
+	fp := make([]flowgraph.Provider, len(providers))
+	for i, p := range providers {
+		fp[i] = flowgraph.Provider{Pt: p.Pt, Cap: p.Cap}
+	}
+	fc := make([]flowgraph.Customer, len(pts))
+	for i, p := range pts {
+		fc[i] = flowgraph.Customer{Pt: p, Cap: 1, ExtID: int64(i)}
+	}
+	_, cost := flowgraph.RefSolveMetric(fp, fc, 1, m)
+	return cost
+}
+
+// TestCrossMetricExactConformance runs every registered exact solver
+// under both distance backends and asserts the cost matches the
+// brute-force oracle under the same metric. This is the PR 1 SSPA-oracle
+// suite parameterized over metrics: under NetworkMetric it proves the
+// refinement-heap NN mode keeps NIA/IDA (and the annulus logic keeps
+// RIA) exact when R-tree mindist is only a lower bound.
+func TestCrossMetricExactConformance(t *testing.T) {
+	net := datagen.NewNetwork(10, netSpace, 2008)
+	metrics := map[string]geo.Metric{
+		"euclidean": geo.Euclidean,
+		"network":   netmetric.FromNetwork(net),
+	}
+	names := ByKind(Exact)
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 exact solvers registered, got %v", names)
+	}
+	for mName, metric := range metrics {
+		t.Run(mName, func(t *testing.T) {
+			for seed := int64(1); seed <= 10; seed++ {
+				providers, pts := networkInstance(net, seed)
+				data := buildDataset(t, pts)
+				want := refCost(providers, pts, metric)
+				opts := Options{}
+				opts.Core.Metric = metric
+				for _, name := range names {
+					res, err := MustGet(name).Solve(providers, data, opts)
+					if err != nil {
+						t.Fatalf("seed %d: %s: %v", seed, name, err)
+					}
+					validate(t, name+"/"+mName, providers, len(pts), res)
+					if d := math.Abs(res.Cost - want); d > 1e-6 {
+						t.Errorf("seed %d: %s under %s: cost %.9f != oracle %.9f (Δ %.3g)",
+							seed, name, mName, res.Cost, want, d)
+					}
+					// Per-pair distances must be measured in the metric.
+					for _, pr := range res.Pairs {
+						md := metric.Dist(providers[pr.Provider].Pt, pr.CustomerPt)
+						if math.Abs(md-pr.Dist) > 1e-6 {
+							t.Fatalf("seed %d: %s under %s: pair dist %.9f != metric %.9f",
+								seed, name, mName, pr.Dist, md)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossMetricHeuristicValidity: the greedy join must stay feasible
+// and never beat the optimum under the network metric either.
+func TestCrossMetricHeuristicValidity(t *testing.T) {
+	net := datagen.NewNetwork(8, netSpace, 77)
+	metric := netmetric.FromNetwork(net)
+	opts := Options{}
+	opts.Core.Metric = metric
+	for seed := int64(1); seed <= 6; seed++ {
+		providers, pts := networkInstance(net, seed)
+		data := buildDataset(t, pts)
+		want := refCost(providers, pts, metric)
+		for _, name := range ByKind(Heuristic) {
+			res, err := MustGet(name).Solve(providers, data, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			validate(t, name+"/network", providers, len(pts), res)
+			if res.Cost < want-1e-6 {
+				t.Errorf("%s cost %.3f beats the network-metric optimum %.3f", name, res.Cost, want)
+			}
+		}
+	}
+}
+
+// TestCrossMetricApproxConsistency: under the network metric the
+// approximate solvers must measure every pair — and hence Result.Cost —
+// in the network metric too (the refinement phase used to fall back to
+// Euclidean, letting SA/CA "beat" the true optimum), and so can never
+// come out cheaper than the metric's optimal cost.
+func TestCrossMetricApproxConsistency(t *testing.T) {
+	net := datagen.NewNetwork(8, netSpace, 41)
+	metric := netmetric.FromNetwork(net)
+	for seed := int64(1); seed <= 6; seed++ {
+		providers, pts := networkInstance(net, seed)
+		data := buildDataset(t, pts)
+		want := refCost(providers, pts, metric)
+		for _, name := range ByKind(Approximate) {
+			for _, refn := range []Refinement{RefineNN, RefineExclusive, RefineExact} {
+				opts := Options{Delta: 100, Refinement: refn}
+				opts.Core.Metric = metric
+				res, err := MustGet(name).Solve(providers, data, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %s/%v: %v", seed, name, refn, err)
+				}
+				validate(t, name+"/network", providers, len(pts), res)
+				for _, pr := range res.Pairs {
+					md := metric.Dist(providers[pr.Provider].Pt, pr.CustomerPt)
+					if math.Abs(md-pr.Dist) > 1e-6 {
+						t.Fatalf("seed %d: %s/%v: pair dist %.9f is not the metric distance %.9f",
+							seed, name, refn, pr.Dist, md)
+					}
+				}
+				if res.Cost < want-1e-6 {
+					t.Errorf("seed %d: %s/%v: cost %.3f beats the network-metric optimum %.3f (metric mixing)",
+						seed, name, refn, res.Cost, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossMetricAblations re-runs the NIA/IDA option matrix under the
+// network metric: the refinement layer must stay exact with ANN off,
+// PUA off, and the Theorem 2 fast path off.
+func TestCrossMetricAblations(t *testing.T) {
+	net := datagen.NewNetwork(8, netSpace, 99)
+	metric := netmetric.FromNetwork(net)
+	variants := map[string]func(*core.Options){
+		"ann-off":  func(o *core.Options) { o.DisableANN = true },
+		"pua-off":  func(o *core.Options) { o.DisablePUA = true },
+		"thm2-off": func(o *core.Options) { o.DisableTheorem2 = true },
+		"all-off":  func(o *core.Options) { o.DisableANN = true; o.DisablePUA = true; o.DisableTheorem2 = true },
+		"default":  func(o *core.Options) {},
+	}
+	for seed := int64(2); seed <= 5; seed++ {
+		providers, pts := networkInstance(net, seed)
+		data := buildDataset(t, pts)
+		want := refCost(providers, pts, metric)
+		for vn, tweak := range variants {
+			for _, name := range []string{"nia", "ida"} {
+				opts := Options{}
+				opts.Core.Metric = metric
+				tweak(&opts.Core)
+				res, err := MustGet(name).Solve(providers, data, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %s/%s: %v", seed, name, vn, err)
+				}
+				if d := math.Abs(res.Cost - want); d > 1e-6 {
+					t.Errorf("seed %d: %s/%s: cost %.9f != oracle %.9f", seed, name, vn, res.Cost, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package cca
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
+)
+
+// Metric is the pluggable distance backend edge costs are computed
+// with; set it via SolverOptions.Core.Metric (nil selects Euclidean).
+// Non-Euclidean metrics must lower-bound to Euclidean distance for the
+// exact solvers to stay exact — see the geo.Metric contract.
+type Metric = geo.Metric
+
+// EuclideanMetric returns the straight-line L2 backend — the paper's
+// setting and the default everywhere.
+func EuclideanMetric() Metric { return geo.Euclidean }
+
+// RoadNetworkMetric builds the shortest-path distance backend over the
+// synthetic road network with the given grid size, data space, and
+// seed (the same recipe ccagen and the experiment harness use, so a
+// workload generated with one seed measures travel distance on its own
+// network). Points are snapped to their nearest edge; node-pair
+// distances are memoized in concurrency-safe caches, so one metric
+// value can (and should) be shared across a whole Engine batch. The
+// returned metric satisfies the Euclidean lower bound, keeping every
+// exact solver exact.
+func RoadNetworkMetric(gridN int, space Rect, seed int64) Metric {
+	return netmetric.FromNetwork(datagen.NewNetwork(gridN, space, seed))
+}
