@@ -39,7 +39,7 @@ func AssignSSPA(providers []Provider, customers *Customers, opts *Options) (*Res
 	if err != nil {
 		return nil, err
 	}
-	return core.SSPA(providers, items, opt(opts)), nil
+	return core.SSPA(providers, items, opt(opts))
 }
 
 // GreedyAssign computes the (suboptimal) greedy spatial-matching join of

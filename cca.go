@@ -30,6 +30,7 @@ package cca
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -72,7 +73,15 @@ type Customers struct {
 	buf   *storage.Buffer
 	store storage.Store
 	owner bool // this handle owns (and Close closes) the page store
+	// id identifies the underlying dataset across handles: clones share
+	// it, distinct datasets never do. The engine's cross-instance result
+	// cache keys on it, so a recycled pointer can never alias a stale
+	// cache entry the way a raw *Customers key could.
+	id uint64
 }
+
+// datasetIDs hands out process-unique dataset identities.
+var datasetIDs atomic.Uint64
 
 // IndexConfig controls how a customer dataset is indexed.
 type IndexConfig struct {
@@ -146,7 +155,7 @@ func IndexItems(items []rtree.Item, cfg IndexConfig) (*Customers, error) {
 		store.Close()
 		return nil, err
 	}
-	return &Customers{tree: reopened, buf: buf, store: store, owner: true}, nil
+	return &Customers{tree: reopened, buf: buf, store: store, owner: true, id: datasetIDs.Add(1)}, nil
 }
 
 // frames computes the effective LRU buffer size in pages, clamped to at
@@ -179,7 +188,7 @@ func OpenCustomers(path string, cfg IndexConfig) (*Customers, error) {
 		fs.Close()
 		return nil, err
 	}
-	return &Customers{tree: tree, buf: buf, store: fs, owner: true}, nil
+	return &Customers{tree: tree, buf: buf, store: fs, owner: true, id: datasetIDs.Add(1)}, nil
 }
 
 // Clone returns an independent handle onto the same customer data: a
@@ -195,7 +204,7 @@ func (c *Customers) Clone() (*Customers, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Customers{tree: tree, buf: buf, store: c.store, owner: false}, nil
+	return &Customers{tree: tree, buf: buf, store: c.store, owner: false, id: c.id}, nil
 }
 
 // Len returns the number of indexed customers.

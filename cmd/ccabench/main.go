@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,11 +32,24 @@ func main() {
 		strings.Join(expr.ExactAlgos(), ",")+"; registered: "+strings.Join(solver.Names(), ",")+")")
 	metric := flag.String("metric", "euclidean", `distance backend: "euclidean" (the paper's setting) or
 "network" (shortest-path distance on the generated road network)`)
+	stream := flag.Int("stream", 1, `scheduler workers for the figure sweeps: 1 (default) runs
+points sequentially with clean CPU timings; higher values stream
+independent figure points through the shared scheduler concurrently
+(faster wall clock, noisier per-point CPU numbers); 0 selects GOMAXPROCS`)
 	flag.Parse()
 
 	if err := expr.SetMetric(*metric); err != nil {
 		fmt.Fprintf(os.Stderr, "ccabench: %v\n", err)
 		os.Exit(2)
+	}
+
+	streaming := false
+	if *stream == 0 {
+		*stream = runtime.GOMAXPROCS(0)
+	}
+	if *stream > 1 {
+		expr.SetStreamWorkers(*stream)
+		streaming = true
 	}
 
 	if *algos != "" {
@@ -86,6 +100,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[figure %s done in %v]\n", f, time.Since(start).Round(time.Millisecond))
+	}
+
+	if streaming {
+		m := expr.StreamMetrics()
+		fmt.Printf("\nscheduler: %d workers, %d points, Σ queue wait %v (max %v)\n",
+			m.Workers, m.Completed, m.QueueWait.Round(time.Millisecond), m.MaxQueueWait.Round(time.Millisecond))
+		for i, w := range m.PerWorker {
+			fmt.Printf("  worker %d: %d points, busy %v (%.0f%% of uptime)\n",
+				i, w.Tasks, w.Busy.Round(time.Millisecond), 100*w.Utilization)
+		}
 	}
 }
 

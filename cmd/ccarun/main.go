@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,8 @@ func main() {
 -netgrid/-netseed the workload was generated with)`)
 		netGrid = flag.Int("netgrid", 32, "road network grid size for -metric network (ccagen's -grid)")
 		netSeed = flag.Int64("netseed", 2008, "road network seed for -metric network (ccagen's -seed)")
+		timeout = flag.Duration("timeout", 0, `abort the solve after this long (e.g. 30s, 2m; 0 = no limit);
+the solvers observe the deadline between augmenting iterations`)
 		outPath = flag.String("out", "", "write the matching CSV here")
 	)
 	flag.Usage = func() {
@@ -77,9 +81,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := cca.Solve(*algo, providers, customers, &opts)
+	res, err := cca.SolveContext(ctx, *algo, providers, customers, &opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "ccarun: solve aborted after -timeout %v\n", *timeout)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "ccarun:", err)
 		os.Exit(2)
 	}

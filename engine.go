@@ -1,17 +1,39 @@
 package cca
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/lru"
+	"repro/internal/sched"
 )
 
-// Instance is one independent CCA scenario in a batch: a provider set,
-// a customer dataset, and the solver to run. Several instances may
-// reference the same *Customers — the engine gives every in-flight
-// solve its own cold handle (Customers.Clone), so LRU buffers and I/O
-// counters never race and results do not depend on scheduling order.
+// Lane is a scheduling priority class; see the sched package. The zero
+// value is LaneInteractive, so ad-hoc Submit calls get low latency by
+// default; bulk work should mark its instances LaneBatch.
+type Lane = sched.Lane
+
+// Scheduling lanes for Instance.Lane.
+const (
+	// LaneInteractive is drained before LaneBatch, so small interactive
+	// solves are never starved behind huge batch instances.
+	LaneInteractive = sched.Interactive
+	// LaneBatch is the bulk lane for throughput work.
+	LaneBatch = sched.Batch
+)
+
+// ErrEngineClosed is reported by submissions made after Engine.Close.
+var ErrEngineClosed = errors.New("cca: engine is closed")
+
+// Instance is one independent CCA scenario: a provider set, a customer
+// dataset, and the solver to run. Several instances may reference the
+// same *Customers — the engine gives every in-flight solve its own cold
+// handle (Customers.Clone), so LRU buffers and I/O counters never race
+// and results do not depend on scheduling order.
 type Instance struct {
 	// Label identifies the instance in results (optional).
 	Label string
@@ -23,38 +45,65 @@ type Instance struct {
 	Solver string
 	// Options tunes the solve; the zero value is the paper's defaults.
 	Options SolverOptions
+	// Lane selects the scheduling priority (default LaneInteractive).
+	// Lanes change only when an instance runs, never its result.
+	Lane Lane
 }
 
-// InstanceResult is one instance's outcome within a batch.
+// InstanceResult is one instance's outcome.
 type InstanceResult struct {
-	// Index is the instance's position in the submitted batch.
+	// Index is the instance's position in the submitted batch (0 for a
+	// direct Submit).
 	Index int
 	// Label echoes Instance.Label.
 	Label string
 	// Solver is the canonical name of the solver that ran (the
 	// requested name when Err is set before a solver ran).
 	Solver string
-	// Result is the matching (nil when Err is set).
+	// Result is the matching (nil when Err is set). Results served from
+	// the engine's cross-instance cache are shared — treat as read-only.
 	Result *SolverResult
 	// Err is the instance's failure, if any; other instances still run.
 	Err error
-	// Wall is this instance's own solve time.
+	// Wall is this instance's own solve time (near zero on a cache hit).
 	Wall time.Duration
+	// QueueWait is the time the instance waited for a worker.
+	QueueWait time.Duration
+	// Worker is the index of the pool worker that ran the instance
+	// (-1 when it never reached a worker).
+	Worker int
+	// Cached reports that Result was served from the engine's
+	// cross-instance result cache instead of being recomputed.
+	Cached bool
 }
+
+// WorkerStats is one worker's share of a batch; see sched.WorkerStats.
+type WorkerStats = sched.WorkerStats
 
 // FleetMetrics aggregates a batch run.
 type FleetMetrics struct {
 	Instances int           // instances submitted
 	Solved    int           // instances that produced a matching
 	Errors    int           // instances that failed
-	Workers   int           // worker-pool size used
+	Workers   int           // effective parallelism for this batch
 	Wall      time.Duration // batch wall-clock time
 	SolveWall time.Duration // Σ per-instance wall time (≥ Wall when parallel)
+	QueueWait time.Duration // Σ time instances waited for a worker
+	// CPUTime, IOTime, and Faults count work this batch actually
+	// performed: instances served from the result cache contribute to
+	// Pairs/Cost but not to these.
 	CPUTime   time.Duration // Σ solver-reported CPU time
 	IOTime    time.Duration // Σ simulated I/O time (10 ms per fault)
 	Faults    int           // Σ page faults
 	Pairs     int           // Σ matching sizes
 	Cost      float64       // Σ matching costs Ψ(M)
+	CacheHits int           // results served from the cross-instance cache
+	// PerWorker aggregates this batch's instances by the worker that ran
+	// them (indexed by worker, length = highest worker index used + 1):
+	// task counts, busy time (Σ instance wall), and utilization against
+	// the batch wall. Derived from the batch's own results, so it stays
+	// exact when concurrent batches share the pool.
+	PerWorker []WorkerStats
 }
 
 // BatchResult is the outcome of Engine.Run: per-instance results in
@@ -64,15 +113,33 @@ type BatchResult struct {
 	Fleet   FleetMetrics
 }
 
-// Engine executes batches of independent CCA instances across a bounded
-// worker pool. The zero value is ready to use:
+// DefaultCacheSize is the result cache capacity an Engine with
+// CacheSize 0 uses.
+const DefaultCacheSize = 256
+
+// Engine executes CCA instances across a long-lived bounded worker pool.
+// The zero value is ready to use:
 //
 //	var engine cca.Engine
 //	batch, err := engine.Run(instances)
 //
+// Beyond one-shot batches, the engine is a streaming scheduler service:
+// Submit enqueues a single instance and returns its result channel,
+// RunStream consumes a channel of instances, and both honor context
+// cancellation — a dead context stops instances before they are
+// scheduled and interrupts solves between augmenting iterations.
+// Identical instances (same dataset, providers, solver, and options)
+// are served from a digest-keyed LRU result cache; CacheStats reports
+// its hit rate.
+//
 // Per-instance results are byte-identical to running the instances
 // sequentially (every solve starts on a fresh cold buffer handle), so
 // Workers only changes wall-clock time, never answers.
+//
+// The pool and cache are created on first use and freed by Close (or by
+// the garbage collector when an unclosed Engine becomes unreachable).
+// Workers, DefaultSolver, and CacheSize must be set before first use;
+// later mutations are ignored.
 type Engine struct {
 	// Workers bounds the number of concurrent solves; values < 1 select
 	// runtime.GOMAXPROCS(0).
@@ -80,9 +147,86 @@ type Engine struct {
 	// DefaultSolver is used by instances with an empty Solver field
 	// ("" selects "ida").
 	DefaultSolver string
+	// CacheSize bounds the cross-instance result cache: 0 selects
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+
+	mu     sync.Mutex
+	pool   *sched.Pool
+	cache  *lru.Cache[resultKey, *SolverResult]
+	closed bool
 }
 
-// workers returns the effective pool size for n instances.
+// service returns the engine's pool, building it (and the result cache)
+// on first use. It returns nil once the engine is closed.
+func (e *Engine) service() *sched.Pool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if e.pool == nil {
+		e.pool = sched.New(sched.Config{Workers: e.Workers})
+		if e.CacheSize >= 0 {
+			size := e.CacheSize
+			if size == 0 {
+				size = DefaultCacheSize
+			}
+			e.cache = lru.New[resultKey, *SolverResult](size)
+		}
+		// A dropped, unclosed Engine must not leak its workers: close
+		// the pool when the Engine becomes unreachable. Queued tasks
+		// keep the Engine reachable through their closures, so cleanup
+		// cannot fire while work is still pending.
+		runtime.AddCleanup(e, func(p *sched.Pool) { p.Close() }, e.pool)
+	}
+	return e.pool
+}
+
+// Close stops accepting new submissions, waits for queued and in-flight
+// instances to finish, and releases the workers. Idempotent and safe
+// for concurrent callers. A never-used Engine closes trivially, without
+// ever spinning up a pool.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	p := e.pool
+	e.mu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// CacheStats returns the result cache's lifetime hit/miss/eviction
+// counters (all zero when caching is disabled or the engine has not run
+// anything yet).
+func (e *Engine) CacheStats() lru.Stats {
+	e.mu.Lock()
+	c := e.cache
+	e.mu.Unlock()
+	if c == nil {
+		return lru.Stats{}
+	}
+	return c.Stats()
+}
+
+// PoolMetrics returns the scheduler's lifetime telemetry: queue depth,
+// aggregate and per-worker utilization, and queue-wait statistics (the
+// zero Metrics before the engine first runs anything). Completion
+// accounting lands just after a result is delivered, so a metric read
+// racing the last delivery may trail by a task; Close first for final
+// numbers.
+func (e *Engine) PoolMetrics() sched.Metrics {
+	e.mu.Lock()
+	p := e.pool
+	e.mu.Unlock()
+	if p == nil {
+		return sched.Metrics{}
+	}
+	return p.Metrics()
+}
+
+// workers returns the effective parallelism for n instances.
 func (e *Engine) workers(n int) int {
 	w := e.Workers
 	if w < 1 {
@@ -111,74 +255,90 @@ func (e *Engine) solverFor(in Instance) string {
 // Run solves every instance and returns per-instance results (in input
 // order) plus fleet metrics. Solver failures are reported per instance
 // in InstanceResult.Err and counted in FleetMetrics.Errors; Run itself
-// only fails on malformed input (a nil Customers).
+// only fails on malformed input (a nil Customers). It is a thin wrapper
+// over RunContext with a background context.
 func (e *Engine) Run(instances []Instance) (*BatchResult, error) {
+	return e.RunContext(context.Background(), instances)
+}
+
+// RunContext is Run with cancellation: when ctx dies mid-batch, no
+// further instance starts solving, in-flight solves return between
+// augmenting iterations, and every unfinished instance's result carries
+// ctx.Err(). The returned error is nil unless the input was malformed;
+// inspect per-instance Err (or ctx.Err()) for cancellation.
+func (e *Engine) RunContext(ctx context.Context, instances []Instance) (*BatchResult, error) {
 	for i, in := range instances {
 		if in.Customers == nil {
 			return nil, fmt.Errorf("cca: engine: instance %d has nil Customers", i)
 		}
 	}
+	out := &BatchResult{Results: make([]InstanceResult, len(instances))}
+	out.Fleet.Instances = len(instances)
+	out.Fleet.Workers = e.workers(len(instances))
+	if len(instances) == 0 {
+		return out, nil
+	}
+
 	start := time.Now()
-	results := make([]InstanceResult, len(instances))
-	workers := e.workers(len(instances))
+	chans := make([]<-chan InstanceResult, len(instances))
+	for i := range instances {
+		chans[i] = e.submit(ctx, instances[i], i)
+	}
+	for i, ch := range chans {
+		out.Results[i] = <-ch
+	}
+	out.Fleet.Wall = time.Since(start)
+	out.Fleet.PerWorker = perWorkerStats(out.Results, out.Fleet.Wall)
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx] = e.runOne(idx, instances[idx])
-			}
-		}()
-	}
-	for idx := range instances {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	fleet := FleetMetrics{
-		Instances: len(instances),
-		Workers:   workers,
-		Wall:      time.Since(start),
-	}
-	for _, r := range results {
-		fleet.SolveWall += r.Wall
+	for _, r := range out.Results {
+		out.Fleet.SolveWall += r.Wall
+		out.Fleet.QueueWait += r.QueueWait
+		if r.Cached {
+			out.Fleet.CacheHits++
+		}
 		if r.Err != nil {
-			fleet.Errors++
+			out.Fleet.Errors++
 			continue
 		}
-		fleet.Solved++
-		fleet.CPUTime += r.Result.Metrics.CPUTime
-		fleet.IOTime += r.Result.Metrics.IOTime
-		fleet.Faults += r.Result.Metrics.IO.Faults
-		fleet.Pairs += r.Result.Size
-		fleet.Cost += r.Result.Cost
+		out.Fleet.Solved++
+		out.Fleet.Pairs += r.Result.Size
+		out.Fleet.Cost += r.Result.Cost
+		if r.Cached {
+			// A cached result's Metrics describe the original solve; the
+			// work counters below report work *this batch* performed, so
+			// served-from-cache instances contribute nothing to them.
+			continue
+		}
+		out.Fleet.CPUTime += r.Result.Metrics.CPUTime
+		out.Fleet.IOTime += r.Result.Metrics.IOTime
+		out.Fleet.Faults += r.Result.Metrics.IO.Faults
 	}
-	return &BatchResult{Results: results, Fleet: fleet}, nil
+	return out, nil
 }
 
-// runOne executes a single instance on its own dataset handle.
-func (e *Engine) runOne(idx int, in Instance) InstanceResult {
-	out := InstanceResult{Index: idx, Label: in.Label, Solver: e.solverFor(in)}
-	begin := time.Now()
-	defer func() { out.Wall = time.Since(begin) }()
-
-	handle, err := in.Customers.Clone()
-	if err != nil {
-		out.Err = fmt.Errorf("cca: engine: instance %d: clone dataset: %w", idx, err)
-		return out
+// perWorkerStats aggregates a batch's own results by the worker that
+// ran each instance, with utilization measured against the batch wall.
+// Built from the results — not pool snapshots — so it is exact even
+// when other batches share the pool concurrently.
+func perWorkerStats(results []InstanceResult, wall time.Duration) []WorkerStats {
+	workers := 0
+	for _, r := range results {
+		if r.Worker >= workers {
+			workers = r.Worker + 1
+		}
 	}
-	defer handle.Close()
-
-	res, err := Solve(out.Solver, in.Providers, handle, &in.Options)
-	if err != nil {
-		out.Err = fmt.Errorf("cca: engine: instance %d (%s): %w", idx, out.Solver, err)
-		return out
+	out := make([]WorkerStats, workers)
+	for _, r := range results {
+		if r.Worker < 0 {
+			continue // never reached a worker (rejected or pre-cancelled)
+		}
+		out[r.Worker].Tasks++
+		out[r.Worker].Busy += r.Wall
 	}
-	out.Solver = res.Solver // canonicalize aliases/casing ("SM" → "greedy")
-	out.Result = res
+	if wall > 0 {
+		for i := range out {
+			out[i].Utilization = float64(out[i].Busy) / float64(wall)
+		}
+	}
 	return out
 }

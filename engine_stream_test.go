@@ -1,0 +1,382 @@
+package cca
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestEngineRunEmpty: an empty instance slice returns an empty
+// BatchResult, not a hang or a zero-division.
+func TestEngineRunEmpty(t *testing.T) {
+	engine := &Engine{}
+	defer engine.Close()
+	out, err := engine.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 0 || out.Fleet.Instances != 0 || out.Fleet.Solved != 0 {
+		t.Fatalf("empty batch produced %+v", out.Fleet)
+	}
+	out, err = engine.Run([]Instance{})
+	if err != nil || len(out.Results) != 0 {
+		t.Fatalf("empty non-nil batch: %v, %+v", err, out.Fleet)
+	}
+}
+
+// TestEngineWorkersZero: the pool-sizing helper clamps degenerate
+// inputs — zero instances, zero workers — to a usable size.
+func TestEngineWorkersZero(t *testing.T) {
+	e := &Engine{}
+	if got := e.workers(0); got != 1 {
+		t.Errorf("workers(0) = %d, want 1", got)
+	}
+	if got := e.workers(5); got < 1 || got > runtime.GOMAXPROCS(0) {
+		t.Errorf("workers(5) = %d, want in [1, GOMAXPROCS]", got)
+	}
+	neg := &Engine{Workers: -3}
+	if got := neg.workers(2); got < 1 || got > 2 {
+		t.Errorf("negative Workers: workers(2) = %d, want in [1,2]", got)
+	}
+}
+
+// TestSubmitCancelledContext: a Submit with an already-cancelled context
+// returns promptly with context.Canceled — the instance never reaches a
+// worker.
+func TestSubmitCancelledContext(t *testing.T) {
+	batch, customers := engineWorkload(t, 1, 200)
+	defer customers.Close()
+	engine := &Engine{Workers: 2}
+	defer engine.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	select {
+	case res := <-engine.Submit(ctx, batch[0]):
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("Err = %v, want context.Canceled", res.Err)
+		}
+		if res.Result != nil || res.Worker != -1 {
+			t.Fatalf("cancelled submit still produced %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Submit did not return promptly")
+	}
+}
+
+// TestRunContextMidBatchCancel: cancelling mid-batch stops scheduling
+// new instances — later instances report ctx.Err() without solving —
+// while already-finished results stay intact. Run under -race by CI.
+func TestRunContextMidBatchCancel(t *testing.T) {
+	batch, customers := engineWorkload(t, 16, 600)
+	defer customers.Close()
+	engine := &Engine{Workers: 1, CacheSize: -1}
+	defer engine.Close()
+
+	// Cancel as soon as the first instance completes: with one worker,
+	// most of the queue is still waiting at that point.
+	ctx, cancel := context.WithCancel(context.Background())
+	first := engine.Submit(ctx, batch[0])
+	go func() {
+		<-first
+		cancel()
+	}()
+	out, err := engine.RunContext(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for i, r := range out.Results {
+		if r.Err == nil {
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("instance %d failed with %v, want context.Canceled", i, r.Err)
+		}
+		if r.Result != nil {
+			t.Fatalf("instance %d has both a result and an error", i)
+		}
+		cancelled++
+	}
+	if cancelled == 0 {
+		t.Skip("batch finished before cancellation landed (fast machine, tiny batch)")
+	}
+	if out.Fleet.Errors != cancelled {
+		t.Errorf("fleet errors %d != cancelled %d", out.Fleet.Errors, cancelled)
+	}
+}
+
+// TestRunStreamMatchesRun: streaming submission of a batch yields
+// byte-identical per-instance results to Engine.Run on the same
+// instances (the golden-determinism guarantee extended to the
+// streaming path). Caching is disabled so both paths genuinely solve.
+func TestRunStreamMatchesRun(t *testing.T) {
+	batch, customers := engineWorkload(t, 9, 600)
+	defer customers.Close()
+
+	run := &Engine{Workers: 4, CacheSize: -1}
+	defer run.Close()
+	ref, err := run.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := &Engine{Workers: 4, CacheSize: -1}
+	defer stream.Close()
+	feed := make(chan Instance)
+	go func() {
+		defer close(feed)
+		for _, in := range batch {
+			feed <- in
+		}
+	}()
+	got := make([]*InstanceResult, len(batch))
+	n := 0
+	for res := range stream.RunStream(context.Background(), feed) {
+		res := res
+		if res.Index < 0 || res.Index >= len(batch) || got[res.Index] != nil {
+			t.Fatalf("bad or duplicate stream index %d", res.Index)
+		}
+		got[res.Index] = &res
+		n++
+	}
+	if n != len(batch) {
+		t.Fatalf("stream delivered %d of %d results", n, len(batch))
+	}
+	for i := range batch {
+		a, b := fingerprint(ref.Results[i]), fingerprint(*got[i])
+		if a != b {
+			t.Errorf("instance %d diverged between Run and RunStream:\nrun:    %s\nstream: %s", i, a, b)
+		}
+	}
+}
+
+// TestResultCacheHits: repeated identical instances are served from the
+// digest-keyed result cache, report Cached, and return the identical
+// matching; different instances never collide.
+func TestResultCacheHits(t *testing.T) {
+	batch, customers := engineWorkload(t, 4, 400)
+	defer customers.Close()
+	engine := &Engine{Workers: 2}
+	defer engine.Close()
+
+	first, err := engine.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Fleet.CacheHits != 0 {
+		t.Fatalf("distinct instances produced %d cache hits", first.Fleet.CacheHits)
+	}
+	second, err := engine.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Fleet.CacheHits != len(batch) {
+		t.Fatalf("second run hit cache %d times, want %d", second.Fleet.CacheHits, len(batch))
+	}
+	for i := range batch {
+		if !second.Results[i].Cached {
+			t.Errorf("instance %d not served from cache", i)
+		}
+		if fingerprint(first.Results[i]) != fingerprint(second.Results[i]) {
+			t.Errorf("instance %d: cached result differs from computed", i)
+		}
+	}
+	st := engine.CacheStats()
+	if st.Hits != uint64(len(batch)) || st.Misses != uint64(len(batch)) {
+		t.Errorf("cache stats %+v, want %d hits and %d misses", st, len(batch), len(batch))
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate %g, want 0.5", st.HitRate())
+	}
+}
+
+// TestCacheKeySensitivity: any observable change — providers, solver,
+// options, dataset — must miss the cache.
+func TestCacheKeySensitivity(t *testing.T) {
+	batch, customers := engineWorkload(t, 1, 300)
+	defer customers.Close()
+	engine := &Engine{}
+	defer engine.Close()
+	base := batch[0]
+	if _, err := engine.Run([]Instance{base}); err != nil {
+		t.Fatal(err)
+	}
+
+	providers := append([]Provider(nil), base.Providers...)
+	providers[0].Cap++
+	variants := []Instance{base, base, base}
+	variants[0].Providers = providers
+	variants[1].Solver = "nia"
+	variants[2].Options.Core.Theta = 2.5
+	out, err := engine.Run(variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fleet.CacheHits != 0 {
+		t.Fatalf("perturbed instances hit the cache %d times", out.Fleet.CacheHits)
+	}
+
+	// The identical instance, resubmitted via Submit, does hit.
+	res := <-engine.Submit(context.Background(), base)
+	if res.Err != nil || !res.Cached {
+		t.Fatalf("identical resubmission missed the cache: %+v", res.Err)
+	}
+}
+
+// TestFleetTelemetry: FleetMetrics reports per-worker utilization and
+// queue-wait for the batch, and the scheduler's lifetime metrics add up.
+func TestFleetTelemetry(t *testing.T) {
+	batch, customers := engineWorkload(t, 8, 500)
+	defer customers.Close()
+	engine := &Engine{Workers: 2, CacheSize: -1}
+	defer engine.Close()
+	out, err := engine.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(out.Fleet.PerWorker); n < 1 || n > 2 {
+		t.Fatalf("PerWorker has %d entries, want 1..2 for a 2-worker pool", n)
+	}
+	tasks, busy := 0, time.Duration(0)
+	for _, w := range out.Fleet.PerWorker {
+		if w.Utilization < 0 || w.Utilization > 1.5 { // small timing slack
+			t.Errorf("utilization %g out of range", w.Utilization)
+		}
+		tasks += w.Tasks
+		busy += w.Busy
+	}
+	if tasks != len(batch) {
+		t.Errorf("per-worker tasks sum to %d, want %d", tasks, len(batch))
+	}
+	if busy == 0 {
+		t.Error("no busy time recorded for a real batch")
+	}
+	if out.Fleet.QueueWait < 0 {
+		t.Errorf("negative queue wait %v", out.Fleet.QueueWait)
+	}
+	for i, r := range out.Results {
+		if r.Worker < 0 || r.Worker >= 2 {
+			t.Errorf("instance %d ran on worker %d", i, r.Worker)
+		}
+	}
+	// Close drains the pool, making the lifetime counters final (a
+	// snapshot racing the last delivery may trail by a task).
+	engine.Close()
+	pm := engine.PoolMetrics()
+	if pm.Completed != len(batch) || pm.Workers != 2 {
+		t.Errorf("pool metrics %+v, want %d completed on 2 workers", pm, len(batch))
+	}
+}
+
+// TestEngineClosed: submissions after Close fail fast with
+// ErrEngineClosed instead of hanging.
+func TestEngineClosed(t *testing.T) {
+	batch, customers := engineWorkload(t, 1, 200)
+	defer customers.Close()
+	engine := &Engine{Workers: 1}
+	engine.Close()
+	res := <-engine.Submit(context.Background(), batch[0])
+	if !errors.Is(res.Err, ErrEngineClosed) {
+		t.Fatalf("Err = %v, want ErrEngineClosed", res.Err)
+	}
+	engine.Close() // idempotent
+}
+
+// TestSubmitTimeout: a deadline interrupts a slow solver (SSPA on a
+// deliberately oversized instance) mid-solve.
+func TestSubmitTimeout(t *testing.T) {
+	batch, customers := engineWorkload(t, 1, 4000)
+	defer customers.Close()
+	in := batch[0]
+	in.Solver = "sspa"
+	providers := make([]Provider, 40)
+	for i := range providers {
+		providers[i] = Provider{Pt: Point{X: float64(25 * i), Y: float64(1000 - 25*i)}, Cap: 100}
+	}
+	in.Providers = providers
+
+	engine := &Engine{Workers: 1, CacheSize: -1}
+	defer engine.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := <-engine.Submit(ctx, in)
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		if res.Err == nil {
+			t.Skip("instance solved inside the deadline; nothing to interrupt")
+		}
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("cancellation took %v, deadline not honored mid-solve", waited)
+	}
+}
+
+// BenchmarkEngineStream measures the streaming path end to end: a batch
+// fed through RunStream on a warm engine, caching disabled. The CI
+// workflow runs it with -benchtime=1x as a scheduler smoke test.
+func BenchmarkEngineStream(b *testing.B) {
+	nWorkers := runtime.GOMAXPROCS(0)
+	if nWorkers < 2 {
+		nWorkers = 2
+	}
+	batch, customers := engineWorkload(b, 2*nWorkers, 1000)
+	defer customers.Close()
+	for i := range batch {
+		batch[i].Solver = "ida"
+		batch[i].Lane = LaneBatch
+	}
+	engine := &Engine{Workers: nWorkers, CacheSize: -1}
+	defer engine.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed := make(chan Instance)
+		go func() {
+			defer close(feed)
+			for _, in := range batch {
+				feed <- in
+			}
+		}()
+		n := 0
+		for res := range engine.RunStream(context.Background(), feed) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			n++
+		}
+		if n != len(batch) {
+			b.Fatalf("stream delivered %d of %d", n, len(batch))
+		}
+	}
+	b.ReportMetric(float64(len(batch)), "instances/op")
+	if m := engine.PoolMetrics(); m.Completed > 0 {
+		b.ReportMetric(float64(m.QueueWait.Nanoseconds())/float64(m.Completed), "queue-wait-ns/instance")
+	}
+}
+
+// ExampleEngine_Submit demonstrates the streaming engine: a long-lived
+// engine serving ad-hoc solves with a deadline.
+func ExampleEngine_Submit() {
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{X: float64(i % 8), Y: float64(i / 8)}
+	}
+	customers, _ := IndexCustomers(pts)
+	defer customers.Close()
+
+	engine := &Engine{Workers: 2}
+	defer engine.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res := <-engine.Submit(ctx, Instance{
+		Providers: []Provider{{Pt: Point{X: 3, Y: 3}, Cap: 4}},
+		Customers: customers,
+	})
+	fmt.Println(res.Solver, res.Result.Size, res.Err)
+	// Output: ida 4 <nil>
+}

@@ -205,7 +205,10 @@ func BenchmarkEngineBatch(b *testing.B) {
 		{fmt.Sprintf("parallel-%d", nWorkers), nWorkers},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			engine := &Engine{Workers: cfg.workers}
+			// CacheSize -1: repeated iterations must measure real solves,
+			// not cross-instance cache hits.
+			engine := &Engine{Workers: cfg.workers, CacheSize: -1}
+			defer engine.Close()
 			for i := 0; i < b.N; i++ {
 				out, err := engine.Run(batch)
 				if err != nil {

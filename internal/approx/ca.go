@@ -90,6 +90,14 @@ func CA(providers []core.Provider, tree *rtree.Tree, opts Options) (*Result, err
 	}
 	var pairs []core.Pair
 	for gi, g := range groups {
+		// The concise IDA run above already observes Core.Ctx; poll it
+		// between group refinements too, so a deadline lands within one
+		// (small, δ-bounded) group instead of after the whole phase.
+		if ctx := opts.Core.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if len(instances[gi]) == 0 {
 			continue
 		}

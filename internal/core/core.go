@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/flowgraph"
@@ -106,10 +107,26 @@ type Options struct {
 	// metrics must satisfy the lower-bound contract documented on
 	// geo.Metric for the exact algorithms' pruning to remain exact.
 	Metric geo.Metric
+	// Ctx carries the caller's cancellation/deadline into the solve
+	// loops: the algorithms check it between augmenting iterations and
+	// return its error mid-solve. nil means "never cancelled". The
+	// streaming engine threads each submission's context through here.
+	Ctx context.Context
 
 	// customCaps records whether the caller provided CustomerCap, so
 	// γ computation can skip the full scan for unit capacities.
 	customCaps bool
+}
+
+// cancelled reports the context's error, if a context was supplied.
+// The augmenting-iteration loops call it once per iteration — cheap
+// relative to the Dijkstra each iteration runs, and frequent enough
+// that a cancelled batch solve returns within one iteration.
+func (o Options) cancelled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // validityEps absorbs floating-point drift in Theorem 1 comparisons.

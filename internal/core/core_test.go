@@ -138,7 +138,8 @@ func TestExactAlgorithmsOptimal(t *testing.T) {
 					}
 				}
 
-				check("SSPA", SSPA(in.providers, in.items, Options{}), nil)
+				sspaRes, sspaErr := SSPA(in.providers, in.items, Options{})
+				check("SSPA", sspaRes, sspaErr)
 				res, err := RIA(in.providers, in.tree, Options{Theta: 25})
 				check("RIA", res, err)
 				res, err = NIA(in.providers, in.tree, Options{})
@@ -337,7 +338,7 @@ func TestEmptyInputs(t *testing.T) {
 			t.Fatalf("%s on empty P: %+v", name, res)
 		}
 	}
-	if res := SSPA(nil, nil, Options{}); res.Size != 0 {
+	if res, err := SSPA(nil, nil, Options{}); err != nil || res.Size != 0 {
 		t.Fatalf("SSPA with no providers: %+v", res)
 	}
 }

@@ -54,6 +54,9 @@ func HungarianAssign(providers []Provider, customers []rtree.Item, opts Options)
 	}
 	cost := make([][]float64, rows)
 	for r := 0; r < rows; r++ {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		cost[r] = make([]float64, cols)
 		for c := 0; c < cols; c++ {
 			var qi, ci int
@@ -65,7 +68,11 @@ func HungarianAssign(providers []Provider, customers []rtree.Item, opts Options)
 			cost[r][c] = opts.Metric.Dist(providers[qi].Pt, customers[ci].Pt)
 		}
 	}
-	assign, total, err := hungarian.Solve(cost)
+	var cancel func() error
+	if opts.Ctx != nil {
+		cancel = opts.cancelled
+	}
+	assign, total, err := hungarian.SolveCancel(cost, cancel)
 	if err != nil {
 		return nil, err
 	}

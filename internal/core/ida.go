@@ -29,6 +29,9 @@ func (r *incRunner) fastPhase(gamma int) (int, error) {
 	lastLen := 0.0
 	entered := false
 	for done < gamma {
+		if err := r.opts.cancelled(); err != nil {
+			return done, err
+		}
 		e, ok, err := r.pop()
 		if err != nil {
 			return done, err

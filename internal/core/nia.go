@@ -221,6 +221,9 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 	if err != nil {
 		return nil, err
 	}
+	// Deferred so every exit — including mid-solve cancellation — hands
+	// the Dijkstra scratch back to the pool.
+	defer r.g.Release()
 	gamma, err := gammaFor(providers, tree, opts)
 	if err != nil {
 		return nil, err
@@ -234,6 +237,9 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 		}
 	}
 	for ; done < gamma; done++ {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		ok, err := r.runIteration()
 		if err != nil {
 			return nil, err
@@ -246,7 +252,5 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 	m.CPUTime = time.Since(start)
 	m.IO = io.delta()
 	m.IOTime = m.IO.IOTime()
-	res := finish(r.g, m)
-	r.g.Release()
-	return res, nil
+	return finish(r.g, m), nil
 }

@@ -17,6 +17,9 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	io := snapshotIO(tree.Buffer())
 
 	g := newFlowGraph(providers, false, opts)
+	// Deferred so every exit — including mid-solve cancellation — hands
+	// the Dijkstra scratch back to the pool.
+	defer g.Release()
 	custIdx := make(map[int64]int32)
 	m := Metrics{FullGraphEdges: len(providers) * tree.Size()}
 
@@ -60,6 +63,9 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	}
 	maxEdges := len(providers) * tree.Size()
 	for done := 0; done < gamma; {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		g.BeginIteration()
 		_, cost, ok := g.Search()
 		complete := g.EdgeCount() >= maxEdges
@@ -83,7 +89,5 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	m.CPUTime = time.Since(start)
 	m.IO = io.delta()
 	m.IOTime = m.IO.IOTime()
-	res := finish(g, m)
-	g.Release()
-	return res, nil
+	return finish(g, m), nil
 }

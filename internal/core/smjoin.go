@@ -72,6 +72,9 @@ func SMJoin(providers []Provider, tree *rtree.Tree, opts Options) (*Result, erro
 	var pairs []Pair
 	cost := 0.0
 	for len(pairs) < gamma && h.Len() > 0 {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		top := h.Pop()
 		c := top.Value
 		if remaining[c.q] == 0 {

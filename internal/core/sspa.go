@@ -11,10 +11,15 @@ import (
 // customer set. It is the paper's main-memory baseline (Figure 8): exact,
 // but it relaxes every one of the |Q|·|P| edges in each Dijkstra run and
 // is therefore orders of magnitude slower than the incremental methods.
-func SSPA(providers []Provider, customers []rtree.Item, opts Options) *Result {
+// The only error it can return is a mid-solve cancellation through
+// Options.Ctx — precisely the solver you want a deadline on.
+func SSPA(providers []Provider, customers []rtree.Item, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	g := newFlowGraph(providers, true, opts)
+	// Deferred so every exit — including mid-solve cancellation — hands
+	// the Dijkstra scratch back to the pool.
+	defer g.Release()
 	custTotal := 0
 	for _, c := range customers {
 		cap := opts.CustomerCap(c.ID)
@@ -26,6 +31,9 @@ func SSPA(providers []Provider, customers []rtree.Item, opts Options) *Result {
 		gamma = custTotal
 	}
 	for i := 0; i < gamma; i++ {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		g.BeginIteration()
 		if _, _, ok := g.Search(); !ok {
 			break // max flow reached early (possible with capacitated customers)
@@ -39,8 +47,7 @@ func SSPA(providers []Provider, customers []rtree.Item, opts Options) *Result {
 		CPUTime:        time.Since(start),
 	}
 	res := finish(g, m)
-	g.Release()
 	// SSPA's conceptual subgraph is the complete graph.
 	res.Metrics.SubgraphEdges = res.Metrics.FullGraphEdges
-	return res
+	return res, nil
 }

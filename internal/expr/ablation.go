@@ -44,14 +44,22 @@ func Ablation(s float64, out io.Writer) ([]Row, error) {
 		{"NIA -PUA", "NIA", with(base, func(o *core.Options) { o.DisablePUA = true })},
 		{"SM greedy", "SM", base},
 	}
-	var rows []Row
-	for _, cfg := range configs {
-		row, err := runExact(cfg.algo, w, cfg.opts)
-		if err != nil {
-			return nil, err
+	// One scheduled point: the configs share a single workload, so they
+	// must stay sequential on its buffer.
+	rows, err := runPoints(1, func(int) ([]Row, error) {
+		var rows []Row
+		for _, cfg := range configs {
+			row, err := runExact(cfg.algo, w, cfg.opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Label = cfg.label
+			rows = append(rows, row)
 		}
-		row.Label = cfg.label
-		rows = append(rows, row)
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Ablation: optimizations of §3.3–§3.4 (scale %g)", s), rows, false)
@@ -73,16 +81,23 @@ func ThetaSensitivity(s float64, out io.Writer) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Row
-	for _, theta := range []float64{0.2, 0.8, 3.2, 12.8, 51.2} {
-		opts := coreOptions(p)
-		opts.Theta = theta
-		row, err := runExact("RIA", w, opts)
-		if err != nil {
-			return nil, err
+	// One scheduled point: the θ settings share the workload's buffer.
+	rows, err := runPoints(1, func(int) ([]Row, error) {
+		var rows []Row
+		for _, theta := range []float64{0.2, 0.8, 3.2, 12.8, 51.2} {
+			opts := coreOptions(p)
+			opts.Theta = theta
+			row, err := runExact("RIA", w, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Label = fmt.Sprintf("θ=%g", theta)
+			rows = append(rows, row)
 		}
-		row.Label = fmt.Sprintf("θ=%g", theta)
-		rows = append(rows, row)
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("RIA θ sensitivity (scale %g)", s), rows, false)

@@ -26,12 +26,11 @@ func BaselineScaling(s float64, out io.Writer) ([]Row, error) {
 		{20, 4000, 16},
 		{40, 16000, 32},
 	}
-	var rows []Row
-	for _, sz := range sizes {
+	rows, err := runPoints(len(sizes), func(i int) ([]Row, error) {
 		p := Default(s)
-		p.NQ = max(1, int(float64(sz.nq)*s*20)) // s=0.05 → the sizes above
-		p.NP = max(2, int(float64(sz.np)*s*20))
-		p.K = sz.k
+		p.NQ = max(1, int(float64(sizes[i].nq)*s*20)) // s=0.05 → the sizes above
+		p.NP = max(2, int(float64(sizes[i].np)*s*20))
+		p.K = sizes[i].k
 		w, err := Build(p)
 		if err != nil {
 			return nil, err
@@ -46,7 +45,7 @@ func BaselineScaling(s float64, out io.Writer) ([]Row, error) {
 			hungRow.Algo = "Hungarian"
 		}
 		hungRow.Label = label
-		rows = append(rows, hungRow)
+		rows := []Row{hungRow}
 
 		sspaRow, err := runExact("SSPA", w, coreOptions(p))
 		if err != nil {
@@ -60,7 +59,10 @@ func BaselineScaling(s float64, out io.Writer) ([]Row, error) {
 			return nil, err
 		}
 		idaRow.Label = label
-		rows = append(rows, idaRow)
+		return append(rows, idaRow), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Baseline scaling (§2.1): Hungarian vs SSPA vs IDA (scale %g)", s), rows, false)
@@ -122,9 +124,9 @@ func IndexPolicy(s float64, out io.Writer) ([]Row, error) {
 		return queryTree, buf, err
 	}
 
-	var rows []Row
-	for _, kind := range []string{"STR", "quadratic", "R*"} {
-		tree, buf, err := build(kind)
+	kinds := []string{"STR", "quadratic", "R*"}
+	rows, err := runPoints(len(kinds), func(i int) ([]Row, error) {
+		tree, buf, err := build(kinds[i])
 		if err != nil {
 			return nil, err
 		}
@@ -133,8 +135,11 @@ func IndexPolicy(s float64, out io.Writer) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		row.Label = kind
-		rows = append(rows, row)
+		row.Label = kinds[i]
+		return []Row{row}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Index construction policy vs IDA I/O (scale %g)", s), rows, false)

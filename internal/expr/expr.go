@@ -15,6 +15,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -199,7 +200,7 @@ func runExact(algo string, w *Workload, opts core.Options) (Row, error) {
 	}
 	w.Buffer.DropCache()
 	w.Buffer.ResetStats()
-	res, err := s.Solve(w.Providers, w.Dataset(), solver.Options{Core: opts})
+	res, err := s.Solve(context.Background(), w.Providers, w.Dataset(), solver.Options{Core: opts})
 	if err != nil {
 		return Row{}, fmt.Errorf("expr: %s: %w", algo, err)
 	}

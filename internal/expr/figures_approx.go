@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -41,7 +42,7 @@ func runApprox(v approxVariant, w *Workload, delta float64, opt float64) (Row, e
 	// costs measured the same way as the exact reference. (Theorems 3–4
 	// bound the error for the Euclidean metric only.)
 	opts := solver.Options{Delta: delta, Refinement: v.refine, Core: core.Options{Space: Space, Metric: w.Metric}}
-	res, err := s.Solve(w.Providers, w.Dataset(), opts)
+	res, err := s.Solve(context.Background(), w.Providers, w.Dataset(), opts)
 	if err != nil {
 		return Row{}, fmt.Errorf("expr: %s: %w", v.name, err)
 	}
@@ -102,15 +103,14 @@ func approxPoint(p Params, label string, deltas func(approxVariant) float64) ([]
 // as δ grows; CA dominates SA except at the smallest δ; CA at δ=10 is
 // near-optimal and much faster than IDA.
 func Fig14(s float64, out io.Writer) ([]Row, error) {
-	var rows []Row
-	for _, delta := range []float64{10, 20, 40, 80, 160} {
-		d := delta
-		pointRows, err := approxPoint(Default(s), fmt.Sprintf("δ=%g", delta),
+	deltas := []float64{10, 20, 40, 80, 160}
+	rows, err := runPoints(len(deltas), func(i int) ([]Row, error) {
+		d := deltas[i]
+		return approxPoint(Default(s), fmt.Sprintf("δ=%g", d),
 			func(approxVariant) float64 { return d })
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, pointRows...)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Figure 14: approximation quality/time vs δ (scale %g)", s), rows, true)
@@ -123,15 +123,14 @@ func Fig14(s float64, out io.Writer) ([]Row, error) {
 // CA stays within ~10–25% of optimal and is several times faster than
 // IDA.
 func Fig15(s float64, out io.Writer) ([]Row, error) {
-	var rows []Row
-	for _, k := range []int{20, 40, 80, 160, 320} {
+	ks := []int{20, 40, 80, 160, 320}
+	rows, err := runPoints(len(ks), func(i int) ([]Row, error) {
 		p := Default(s)
-		p.K = k
-		pointRows, err := approxPoint(p, fmt.Sprintf("k=%d", k), deltaFor)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, pointRows...)
+		p.K = ks[i]
+		return approxPoint(p, fmt.Sprintf("k=%d", ks[i]), deltaFor)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Figure 15: approximation vs k (scale %g)", s), rows, true)
@@ -144,15 +143,14 @@ func Fig15(s float64, out io.Writer) ([]Row, error) {
 // providers near each customer group mean more chances for a suboptimal
 // pair).
 func Fig16(s float64, out io.Writer) ([]Row, error) {
-	var rows []Row
-	for _, nq := range []int{250, 500, 1000, 2500, 5000} {
+	qs := []int{250, 500, 1000, 2500, 5000}
+	rows, err := runPoints(len(qs), func(i int) ([]Row, error) {
 		p := Default(s)
-		p.NQ = max(1, int(float64(nq)*s))
-		pointRows, err := approxPoint(p, fmt.Sprintf("|Q|=%g", float64(nq)/1000), deltaFor)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, pointRows...)
+		p.NQ = max(1, int(float64(qs[i])*s))
+		return approxPoint(p, fmt.Sprintf("|Q|=%g", float64(qs[i])/1000), deltaFor)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Figure 16: approximation vs |Q| (scale %g)", s), rows, true)
@@ -164,15 +162,14 @@ func Fig16(s float64, out io.Writer) ([]Row, error) {
 // quality degrades as |P| grows (denser customers around provider
 // groups); CA is much less affected.
 func Fig17(s float64, out io.Writer) ([]Row, error) {
-	var rows []Row
-	for _, np := range []int{25000, 50000, 100000, 150000, 200000} {
+	ps := []int{25000, 50000, 100000, 150000, 200000}
+	rows, err := runPoints(len(ps), func(i int) ([]Row, error) {
 		p := Default(s)
-		p.NP = max(2, int(float64(np)*s))
-		pointRows, err := approxPoint(p, fmt.Sprintf("|P|=%dK", np/1000), deltaFor)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, pointRows...)
+		p.NP = max(2, int(float64(ps[i])*s))
+		return approxPoint(p, fmt.Sprintf("|P|=%dK", ps[i]/1000), deltaFor)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Figure 17: approximation vs |P| (scale %g)", s), rows, true)
@@ -193,15 +190,13 @@ func Fig18(s float64, out io.Writer) ([]Row, error) {
 		{datagen.Clustered, datagen.Uniform},
 		{datagen.Clustered, datagen.Clustered},
 	}
-	var rows []Row
-	for _, c := range combos {
+	rows, err := runPoints(len(combos), func(i int) ([]Row, error) {
 		p := Default(s)
-		p.DistQ, p.DistP = c.q, c.p
-		pointRows, err := approxPoint(p, fmt.Sprintf("%svs%s", c.q, c.p), deltaFor)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, pointRows...)
+		p.DistQ, p.DistP = combos[i].q, combos[i].p
+		return approxPoint(p, fmt.Sprintf("%svs%s", combos[i].q, combos[i].p), deltaFor)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Figure 18: approximation across distributions (scale %g)", s), rows, true)

@@ -28,25 +28,27 @@ func SetExactAlgos(names []string) error {
 // ExactAlgos returns the solver names currently swept by Figures 9–13.
 func ExactAlgos() []string { return append([]string(nil), exactAlgos...) }
 
-// sweepExact runs the exact algorithms over a list of parameter points.
+// sweepExact runs the exact algorithms over a list of parameter points,
+// one scheduled task per point (see runPoints): the algorithms within a
+// point stay sequential on the point's own workload, points overlap
+// when the scheduler has more than one worker.
 func sweepExact(points []Params, labels []string, algos []string) ([]Row, error) {
-	var rows []Row
-	for i, p := range points {
-		w, err := Build(p)
+	return runPoints(len(points), func(i int) ([]Row, error) {
+		w, err := Build(points[i])
 		if err != nil {
 			return nil, err
 		}
+		var rows []Row
 		for _, algo := range algos {
-			opts := coreOptions(p)
-			row, err := runExact(algo, w, opts)
+			row, err := runExact(algo, w, coreOptions(points[i]))
 			if err != nil {
 				return nil, err
 			}
 			row.Label = labels[i]
 			rows = append(rows, row)
 		}
-	}
-	return rows, nil
+		return rows, nil
+	})
 }
 
 func coreOptions(p Params) core.Options {
@@ -59,24 +61,19 @@ func coreOptions(p Params) core.Options {
 // slower than RIA/NIA/IDA across all k.
 func Fig8(s float64, out io.Writer) ([]Row, error) {
 	ks := []int{20, 40, 80, 160, 320}
-	var rows []Row
-	for _, k := range ks {
+	points := make([]Params, len(ks))
+	labels := make([]string, len(ks))
+	for i, k := range ks {
 		p := Default(s)
 		p.NQ = max(1, int(250*s))
 		p.NP = max(2, int(25000*s))
 		p.K = k
-		w, err := Build(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, algo := range []string{"SSPA", "RIA", "NIA", "IDA"} {
-			row, err := runExact(algo, w, coreOptions(p))
-			if err != nil {
-				return nil, err
-			}
-			row.Label = fmt.Sprintf("k=%d", k)
-			rows = append(rows, row)
-		}
+		points[i] = p
+		labels[i] = fmt.Sprintf("k=%d", k)
+	}
+	rows, err := sweepExact(points, labels, []string{"SSPA", "RIA", "NIA", "IDA"})
+	if err != nil {
+		return nil, err
 	}
 	if out != nil {
 		PrintRows(out, fmt.Sprintf("Figure 8: CPU time vs k (small instance, scale %g, SSPA baseline)", s), rows, false)

@@ -1,0 +1,52 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// stripTiming zeroes the wall-clock field so rows can be compared across
+// scheduler widths; everything else (labels, algorithms, subgraph sizes,
+// fault counts, costs) is deterministic per point.
+func stripTiming(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		r.CPU = 0
+		out[i] = fmt.Sprintf("%+v", r)
+	}
+	return out
+}
+
+// TestStreamWorkersEquivalence: running a figure sweep on a wide
+// scheduler returns the same rows in the same order as the sequential
+// default — points are independent workloads and runPoints re-assembles
+// them in point order.
+func TestStreamWorkersEquivalence(t *testing.T) {
+	SetStreamWorkers(1)
+	seq, err := Fig9(testScale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStreamWorkers(4)
+	defer SetStreamWorkers(1)
+	par, err := Fig9(testScale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stripTiming(seq), stripTiming(par)
+	if len(a) != len(b) {
+		t.Fatalf("row counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d diverged across scheduler widths:\nseq: %s\npar: %s", i, a[i], b[i])
+		}
+	}
+	if StreamWorkers() != 4 {
+		t.Errorf("StreamWorkers = %d, want 4", StreamWorkers())
+	}
+	m := StreamMetrics()
+	if m.Workers != 4 || m.Completed == 0 {
+		t.Errorf("stream metrics %+v, want 4 workers with completed points", m)
+	}
+}

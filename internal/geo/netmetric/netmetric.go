@@ -22,18 +22,21 @@
 // satisfy the triangle inequality (see NodeDist).
 //
 // Concurrency. A NetworkMetric is safe for concurrent use: the snap and
-// node-pair distance caches are guarded by RWMutexes and the statistics
-// by atomics, so cca.Engine workers can share one metric instance (and
-// its warm caches) across a whole batch.
+// node-pair distance caches are bounded, concurrency-safe LRUs
+// (internal/lru), so cca.Engine workers can share one metric instance
+// (and its warm caches) across a whole batch — and a long-lived server
+// process holds a fixed-size working set instead of growing the caches
+// without bound. Cache capacities default to DefaultSnapCacheSize and
+// DefaultNodeCacheSize; tune them with SetCacheCapacity before first
+// use, and read eviction pressure from Stats.
 package netmetric
 
 import (
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/geo"
+	"repro/internal/lru"
 )
 
 // Name is the registry/CLI name of this distance backend.
@@ -55,13 +58,27 @@ type snapPos struct {
 	offset float64
 }
 
+// Default cache capacities: generous working sets for the paper-scale
+// workloads (every snap entry is one customer/provider point; every
+// node entry one shortest-path distance), yet bounded so a server
+// process serving an endless stream of scenarios cannot grow them
+// without limit.
+const (
+	DefaultSnapCacheSize = 1 << 17 // ≈131K snapped points
+	DefaultNodeCacheSize = 1 << 19 // ≈524K node-pair distances
+)
+
 // CacheStats reports the metric's cache activity. The node-pair numbers
-// are the interesting ones: a hit avoids a bidirectional Dijkstra.
+// are the interesting ones: a hit avoids a bidirectional Dijkstra, and
+// sustained evictions mean the working set outgrew the cache — size it
+// up with SetCacheCapacity.
 type CacheStats struct {
-	NodeHits   uint64 // node-pair distances served from the cache
-	NodeMisses uint64 // node-pair distances computed by Dijkstra
-	SnapHits   uint64 // snap positions served from the cache
-	SnapMisses uint64 // snap positions computed against the edge grid
+	NodeHits      uint64 // node-pair distances served from the cache
+	NodeMisses    uint64 // node-pair distances computed by Dijkstra
+	NodeEvictions uint64 // node-pair entries displaced by the LRU bound
+	SnapHits      uint64 // snap positions served from the cache
+	SnapMisses    uint64 // snap positions computed against the edge grid
+	SnapEvictions uint64 // snap entries displaced by the LRU bound
 }
 
 // NodeHitRate returns the fraction of node-pair lookups served from the
@@ -88,14 +105,8 @@ type NetworkMetric struct {
 
 	grid snapGrid
 
-	nodeMu    sync.RWMutex
-	nodeCache map[[2]int32]float64
-
-	snapMu    sync.RWMutex
-	snapCache map[geo.Point]snapPos
-
-	nodeHits, nodeMisses atomic.Uint64
-	snapHits, snapMisses atomic.Uint64
+	nodeCache *lru.Cache[[2]int32, float64]
+	snapCache *lru.Cache[geo.Point, snapPos]
 }
 
 // New builds a NetworkMetric from nodes and undirected edges. Edge
@@ -111,8 +122,8 @@ func New(nodes []geo.Point, edges [][2]int32) (*NetworkMetric, error) {
 	m := &NetworkMetric{
 		nodes:     append([]geo.Point(nil), nodes...),
 		realEdges: len(edges),
-		nodeCache: make(map[[2]int32]float64),
-		snapCache: make(map[geo.Point]snapPos),
+		nodeCache: lru.New[[2]int32, float64](DefaultNodeCacheSize),
+		snapCache: lru.New[geo.Point, snapPos](DefaultSnapCacheSize),
 	}
 	m.edges = make([][2]int32, len(edges), len(edges)+8)
 	copy(m.edges, edges)
@@ -147,13 +158,34 @@ func (m *NetworkMetric) NumEdges() int { return m.realEdges }
 // network's components (0 for a connected network).
 func (m *NetworkMetric) Bridges() int { return len(m.edges) - m.realEdges }
 
+// SetCacheCapacity rebuilds the snap and node-pair caches with the
+// given entry bounds (values < 1 keep the defaults), dropping any
+// cached content and counters. It swaps the cache pointers without
+// synchronization, so it must be called during setup, before the
+// metric is shared across goroutines — resizing while Dist runs
+// concurrently is a data race.
+func (m *NetworkMetric) SetCacheCapacity(snapEntries, nodeEntries int) {
+	if snapEntries < 1 {
+		snapEntries = DefaultSnapCacheSize
+	}
+	if nodeEntries < 1 {
+		nodeEntries = DefaultNodeCacheSize
+	}
+	m.snapCache = lru.New[geo.Point, snapPos](snapEntries)
+	m.nodeCache = lru.New[[2]int32, float64](nodeEntries)
+}
+
 // Stats returns a snapshot of the cache counters.
 func (m *NetworkMetric) Stats() CacheStats {
+	node := m.nodeCache.Stats()
+	snap := m.snapCache.Stats()
 	return CacheStats{
-		NodeHits:   m.nodeHits.Load(),
-		NodeMisses: m.nodeMisses.Load(),
-		SnapHits:   m.snapHits.Load(),
-		SnapMisses: m.snapMisses.Load(),
+		NodeHits:      node.Hits,
+		NodeMisses:    node.Misses,
+		NodeEvictions: node.Evictions,
+		SnapHits:      snap.Hits,
+		SnapMisses:    snap.Misses,
+		SnapEvictions: snap.Evictions,
 	}
 }
 
@@ -219,23 +251,18 @@ func (m *NetworkMetric) pathDist(sp, sq snapPos) float64 {
 	return best
 }
 
-// snap resolves p's snap position through the cache.
+// snap resolves p's snap position through the cache. Two goroutines
+// missing on the same point both compute it — identical results, so
+// the duplicate Put is harmless.
 func (m *NetworkMetric) snap(p geo.Point) snapPos {
-	m.snapMu.RLock()
-	s, ok := m.snapCache[p]
-	m.snapMu.RUnlock()
-	if ok {
-		m.snapHits.Add(1)
+	if s, ok := m.snapCache.Get(p); ok {
 		return s
 	}
-	m.snapMisses.Add(1)
 	ei := m.grid.nearestEdge(p, m.nodes, m.edges)
 	e := m.edges[ei]
 	t, pos := projectOntoSegment(p, m.nodes[e[0]], m.nodes[e[1]])
-	s = snapPos{edge: ei, t: t, pos: pos, offset: p.Dist(pos)}
-	m.snapMu.Lock()
-	m.snapCache[p] = s
-	m.snapMu.Unlock()
+	s := snapPos{edge: ei, t: t, pos: pos, offset: p.Dist(pos)}
+	m.snapCache.Put(p, s)
 	return s
 }
 
@@ -249,18 +276,11 @@ func (m *NetworkMetric) nodeDist(a, b int32) float64 {
 		a, b = b, a
 	}
 	key := [2]int32{a, b}
-	m.nodeMu.RLock()
-	d, ok := m.nodeCache[key]
-	m.nodeMu.RUnlock()
-	if ok {
-		m.nodeHits.Add(1)
+	if d, ok := m.nodeCache.Get(key); ok {
 		return d
 	}
-	m.nodeMisses.Add(1)
-	d = m.bidiDijkstra(a, b)
-	m.nodeMu.Lock()
-	m.nodeCache[key] = d
-	m.nodeMu.Unlock()
+	d := m.bidiDijkstra(a, b)
+	m.nodeCache.Put(key, d)
 	return d
 }
 

@@ -199,6 +199,42 @@ func TestCacheStats(t *testing.T) {
 	}
 }
 
+// TestCacheEviction: with deliberately tiny caches the metric keeps
+// answering correctly — recomputing displaced entries — and the stats
+// expose the eviction pressure a long-lived server would tune on.
+func TestCacheEviction(t *testing.T) {
+	net := datagen.NewNetwork(8, space, 3)
+	m := FromNetwork(net)
+	m.SetCacheCapacity(4, 4)
+
+	pts := make([]geo.Point, 16)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(40 + 60*i), Y: float64(900 - 50*i)}
+	}
+	want := make([]float64, len(pts))
+	for i, p := range pts {
+		want[i] = m.Dist(p, pts[0])
+	}
+	// A second sweep over a working set 4x the cache bound must evict on
+	// both caches, yet every distance stays identical.
+	for i, p := range pts {
+		if got := m.Dist(p, pts[0]); got != want[i] {
+			t.Fatalf("Dist(%v) changed after eviction: %g vs %g", p, got, want[i])
+		}
+	}
+	st := m.Stats()
+	if st.SnapEvictions == 0 || st.NodeEvictions == 0 {
+		t.Fatalf("expected evictions on 4-entry caches, got %+v", st)
+	}
+
+	// Resetting to defaults clears the counters and the pressure.
+	m.SetCacheCapacity(0, 0)
+	m.Dist(pts[1], pts[2])
+	if st := m.Stats(); st.SnapEvictions != 0 || st.NodeEvictions != 0 {
+		t.Fatalf("stats survived a cache rebuild: %+v", st)
+	}
+}
+
 // TestConcurrentDist hammers one shared metric from many goroutines;
 // run with -race to verify the cache guards (the engine batch test in
 // the root package exercises the same path end-to-end).

@@ -28,6 +28,15 @@ var ErrShape = errors.New("hungarian: cost matrix must be rectangular and non-em
 // columns; transpose if needed). It returns, for each row, the column
 // assigned to it, plus the total cost.
 func Solve(cost [][]float64) ([]int, float64, error) {
+	return SolveCancel(cost, nil)
+}
+
+// SolveCancel is Solve with a cancellation hook: cancel (when non-nil)
+// is polled once per augmented row — the Θ(n³) work is n rows of
+// shortest-path search, so a cancelled solve returns within one row —
+// and its error is returned verbatim. The CCA solver threads the
+// caller's context in this way.
+func SolveCancel(cost [][]float64, cancel func() error) ([]int, float64, error) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0, ErrShape
@@ -48,6 +57,11 @@ func Solve(cost [][]float64) ([]int, float64, error) {
 	match := make([]int, m+1) // column -> row (0 = free)
 	way := make([]int, m+1)   // alternating-path back-pointers
 	for i := 1; i <= n; i++ {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return nil, 0, err
+			}
+		}
 		match[0] = i
 		j0 := 0
 		minv := make([]float64, m+1)

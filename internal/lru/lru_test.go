@@ -1,0 +1,87 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if _, ok := c.Get(1); !ok { // 1 becomes most recent
+		t.Fatal("1 missing")
+	}
+	c.Put(3, "c") // evicts 2, the LRU entry
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Errorf("1 = %q/%v, want a/true", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != "c" {
+		t.Errorf("3 = %q/%v, want c/true", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("x", 1)
+	c.Put("y", 2)
+	c.Put("x", 3) // refresh, not insert: no eviction
+	c.Put("z", 4) // evicts y (x was refreshed more recently)
+	if _, ok := c.Get("y"); ok {
+		t.Error("y should have been evicted")
+	}
+	if v, _ := c.Get("x"); v != 3 {
+		t.Errorf("x = %d, want refreshed value 3", v)
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	c := New[int, int](0)
+	if c.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", c.Cap())
+	}
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("negative value cached")
+				}
+				c.Put(k, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("len = %d exceeds capacity 64", c.Len())
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverything: every submitted task runs exactly once and the
+// counters agree.
+func TestPoolRunsEverything(t *testing.T) {
+	p := New(Config{Workers: 4})
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		lane := Lane(i % int(numLanes))
+		if err := p.Submit(context.Background(), lane, func(ctx context.Context, info TaskInfo) {
+			defer wg.Done()
+			if info.Worker < 0 || info.Worker >= 4 {
+				t.Errorf("worker index %d out of range", info.Worker)
+			}
+			if info.QueueWait < 0 {
+				t.Errorf("negative queue wait %v", info.QueueWait)
+			}
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), n)
+	}
+	m := p.Metrics()
+	if m.Submitted != n || m.Completed != n || m.Queued != 0 {
+		t.Fatalf("metrics %+v, want %d submitted and completed, 0 queued", m, n)
+	}
+	tasks, busy := 0, time.Duration(0)
+	for _, w := range m.PerWorker {
+		tasks += w.Tasks
+		busy += w.Busy
+	}
+	if tasks != n {
+		t.Errorf("per-worker task counts sum to %d, want %d", tasks, n)
+	}
+	if busy < 0 {
+		t.Errorf("negative total busy %v", busy)
+	}
+}
+
+// TestInteractiveLaneOvertakesBatch: with a single blocked worker, an
+// interactive task submitted after a pile of batch tasks must run before
+// the batch backlog.
+func TestInteractiveLaneOvertakesBatch(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker so subsequent submissions queue up.
+	if err := p.Submit(context.Background(), Batch, func(context.Context, TaskInfo) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	record := func(name string) Task {
+		return func(context.Context, TaskInfo) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	wg.Add(4)
+	p.Submit(context.Background(), Batch, record("batch-1"))
+	p.Submit(context.Background(), Batch, record("batch-2"))
+	p.Submit(context.Background(), Batch, record("batch-3"))
+	p.Submit(context.Background(), Interactive, record("interactive"))
+	close(release)
+	wg.Wait()
+
+	if order[0] != "interactive" {
+		t.Fatalf("interactive task did not overtake the batch backlog: %v", order)
+	}
+	for i, want := range []string{"batch-1", "batch-2", "batch-3"} {
+		if order[i+1] != want {
+			t.Fatalf("batch lane lost FIFO order: %v", order)
+		}
+	}
+}
+
+// TestQueueWaitRecorded: a task that sat behind a long one reports a
+// queue wait, and the pool aggregates it.
+func TestQueueWaitRecorded(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	p.Submit(context.Background(), Batch, func(context.Context, TaskInfo) {
+		time.Sleep(20 * time.Millisecond)
+		wg.Done()
+	})
+	var waited time.Duration
+	p.Submit(context.Background(), Batch, func(_ context.Context, info TaskInfo) {
+		waited = info.QueueWait
+		wg.Done()
+	})
+	wg.Wait()
+	if waited < 10*time.Millisecond {
+		t.Errorf("queue wait %v, want at least ~20ms behind the sleeper", waited)
+	}
+	p.Close() // finalize accounting before reading the counters
+	m := p.Metrics()
+	if m.QueueWait < waited || m.MaxQueueWait < waited {
+		t.Errorf("aggregate queue wait %v / max %v below observed %v", m.QueueWait, m.MaxQueueWait, waited)
+	}
+}
+
+// TestSubmitAfterClose: Close drains the queue, then Submit fails fast.
+func TestSubmitAfterClose(t *testing.T) {
+	p := New(Config{Workers: 2})
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.Submit(context.Background(), Batch, func(context.Context, TaskInfo) { ran.Add(1) })
+	}
+	p.Close()
+	if ran.Load() != 10 {
+		t.Fatalf("Close did not drain the queue: %d of 10 ran", ran.Load())
+	}
+	if err := p.Submit(context.Background(), Interactive, func(context.Context, TaskInfo) {}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestTaskSeesSubmittersContext: the context passed to Submit is the one
+// the task observes, including cancellation.
+func TestTaskSeesSubmittersContext(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	p.Submit(ctx, Interactive, func(ctx context.Context, _ TaskInfo) {
+		done <- ctx.Err()
+	})
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("task saw ctx.Err() = %v, want context.Canceled", err)
+	}
+}
+
+// TestDefaultWorkerCount: Workers < 1 selects GOMAXPROCS.
+func TestDefaultWorkerCount(t *testing.T) {
+	p := New(Config{})
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("default pool has %d workers", p.Workers())
+	}
+	if got := len(p.Metrics().PerWorker); got != p.Workers() {
+		t.Fatalf("PerWorker has %d entries for %d workers", got, p.Workers())
+	}
+}

@@ -78,7 +78,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return core.SSPA(p, items, o.Core), nil
+			return core.SSPA(p, items, o.Core)
 		})))
 	Register(New("hungarian", Exact,
 		"Kuhn–Munkres on a dense (Σk)·|P| matrix (§2.1); tiny instances only",

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -80,7 +81,7 @@ func TestCrossMetricExactConformance(t *testing.T) {
 				opts := Options{}
 				opts.Core.Metric = metric
 				for _, name := range names {
-					res, err := MustGet(name).Solve(providers, data, opts)
+					res, err := MustGet(name).Solve(context.Background(), providers, data, opts)
 					if err != nil {
 						t.Fatalf("seed %d: %s: %v", seed, name, err)
 					}
@@ -115,7 +116,7 @@ func TestCrossMetricHeuristicValidity(t *testing.T) {
 		data := buildDataset(t, pts)
 		want := refCost(providers, pts, metric)
 		for _, name := range ByKind(Heuristic) {
-			res, err := MustGet(name).Solve(providers, data, opts)
+			res, err := MustGet(name).Solve(context.Background(), providers, data, opts)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -143,7 +144,7 @@ func TestCrossMetricApproxConsistency(t *testing.T) {
 			for _, refn := range []Refinement{RefineNN, RefineExclusive, RefineExact} {
 				opts := Options{Delta: 100, Refinement: refn}
 				opts.Core.Metric = metric
-				res, err := MustGet(name).Solve(providers, data, opts)
+				res, err := MustGet(name).Solve(context.Background(), providers, data, opts)
 				if err != nil {
 					t.Fatalf("seed %d: %s/%v: %v", seed, name, refn, err)
 				}
@@ -186,7 +187,7 @@ func TestCrossMetricAblations(t *testing.T) {
 				opts := Options{}
 				opts.Core.Metric = metric
 				tweak(&opts.Core)
-				res, err := MustGet(name).Solve(providers, data, opts)
+				res, err := MustGet(name).Solve(context.Background(), providers, data, opts)
 				if err != nil {
 					t.Fatalf("seed %d: %s/%s: %v", seed, name, vn, err)
 				}

@@ -9,6 +9,7 @@
 package solver
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -123,7 +124,12 @@ type Solver interface {
 	// Kind returns the guarantee class.
 	Kind() Kind
 	// Solve computes a matching of providers to the dataset's customers.
-	Solve(providers []core.Provider, data Dataset, opts Options) (*Result, error)
+	// ctx carries the caller's cancellation/deadline into the solve: it
+	// is checked before the solve starts and threaded into the core
+	// algorithms' augmenting-iteration loops, so a cancelled solve
+	// returns ctx.Err() mid-run instead of computing to completion. Pass
+	// context.Background() when no deadline applies.
+	Solve(ctx context.Context, providers []core.Provider, data Dataset, opts Options) (*Result, error)
 }
 
 // Doc describes a solver for help text; registered solvers implement it.
@@ -131,7 +137,9 @@ type Doc interface {
 	Doc() string
 }
 
-// SolveFunc is the function form of Solver.Solve.
+// SolveFunc is the function form of Solver.Solve, minus the context —
+// the registry wrapper threads ctx into Options.Core.Ctx before the
+// function runs, so implementations read cancellation from there.
 type SolveFunc func(providers []core.Provider, data Dataset, opts Options) (*Result, error)
 
 // funcSolver is the registry's concrete Solver.
@@ -145,7 +153,17 @@ type funcSolver struct {
 func (s *funcSolver) Name() string { return s.name }
 func (s *funcSolver) Kind() Kind   { return s.kind }
 func (s *funcSolver) Doc() string  { return s.doc }
-func (s *funcSolver) Solve(providers []core.Provider, data Dataset, opts Options) (*Result, error) {
+func (s *funcSolver) Solve(ctx context.Context, providers []core.Provider, data Dataset, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Fail fast on a dead context, then hand it to the algorithm loops.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Core.Ctx == nil {
+		opts.Core.Ctx = ctx
+	}
 	res, err := s.fn(providers, data, opts)
 	if err != nil {
 		return nil, err

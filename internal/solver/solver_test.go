@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -102,14 +103,14 @@ func TestExactConformance(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		providers, pts := randomInstance(seed)
 		data := buildDataset(t, pts)
-		ref, err := oracle.Solve(providers, data, Options{})
+		ref, err := oracle.Solve(context.Background(), providers, data, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: oracle: %v", seed, err)
 		}
 		validate(t, "sspa", providers, len(pts), ref)
 		for _, name := range names {
 			s := MustGet(name)
-			res, err := s.Solve(providers, data, Options{})
+			res, err := s.Solve(context.Background(), providers, data, Options{})
 			if err != nil {
 				t.Fatalf("seed %d: %s: %v", seed, name, err)
 			}
@@ -140,13 +141,13 @@ func TestApproxConformance(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		providers, pts := randomInstance(seed)
 		data := buildDataset(t, pts)
-		ref, err := oracle.Solve(providers, data, Options{})
+		ref, err := oracle.Solve(context.Background(), providers, data, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: oracle: %v", seed, err)
 		}
 		for _, name := range names {
 			for _, refn := range []Refinement{RefineNN, RefineExclusive} {
-				res, err := MustGet(name).Solve(providers, data, Options{Delta: 25, Refinement: refn})
+				res, err := MustGet(name).Solve(context.Background(), providers, data, Options{Delta: 25, Refinement: refn})
 				if err != nil {
 					t.Fatalf("seed %d: %s/%v: %v", seed, name, refn, err)
 				}
@@ -170,12 +171,12 @@ func TestHeuristicValidity(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		providers, pts := randomInstance(seed)
 		data := buildDataset(t, pts)
-		ref, err := oracle.Solve(providers, data, Options{})
+		ref, err := oracle.Solve(context.Background(), providers, data, Options{})
 		if err != nil {
 			t.Fatalf("oracle: %v", err)
 		}
 		for _, name := range ByKind(Heuristic) {
-			res, err := MustGet(name).Solve(providers, data, Options{})
+			res, err := MustGet(name).Solve(context.Background(), providers, data, Options{})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}

@@ -1,6 +1,8 @@
 package cca
 
 import (
+	"context"
+
 	"repro/internal/solver"
 )
 
@@ -34,6 +36,18 @@ type SolverResult = solver.Result
 //	    fmt.Println("within", res.ErrorBound, "of optimal")
 //	}
 func Solve(name string, providers []Provider, customers *Customers, opts *SolverOptions) (*SolverResult, error) {
+	return SolveContext(context.Background(), name, providers, customers, opts)
+}
+
+// SolveContext is Solve with a caller-supplied context: the deadline or
+// cancellation is checked before the solve starts and between the
+// algorithm's augmenting iterations, so a cancelled solve returns
+// ctx.Err() mid-run instead of computing to completion.
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, err := cca.SolveContext(ctx, "sspa", providers, customers, nil)
+func SolveContext(ctx context.Context, name string, providers []Provider, customers *Customers, opts *SolverOptions) (*SolverResult, error) {
 	s, err := solver.Get(name)
 	if err != nil {
 		return nil, err
@@ -42,7 +56,7 @@ func Solve(name string, providers []Provider, customers *Customers, opts *Solver
 	if opts != nil {
 		o = *opts
 	}
-	return s.Solve(providers, customers, o)
+	return s.Solve(ctx, providers, customers, o)
 }
 
 // Solvers returns the canonical names of every registered solver,
