@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", "shard", or "all"`)
 	scale := flag.Float64("scale", 0.05, "cardinality scale factor (1.0 = paper size)")
 	algos := flag.String("algos", "", "comma-separated solver names swept by the exact figures\n(default "+
 		strings.Join(expr.ExactAlgos(), ",")+"; registered: "+strings.Join(solver.Names(), ",")+")")
@@ -36,12 +37,18 @@ func main() {
 points sequentially with clean CPU timings; higher values stream
 independent figure points through the shared scheduler concurrently
 (faster wall clock, noisier per-point CPU numbers); 0 selects GOMAXPROCS`)
+	shards := flag.Int("shards", 0, `region count threaded into every sweep for sharded:* solvers
+(0 = the shard layer's automatic count); pick solvers with -algos,
+e.g. -algos ida,sharded:ida -shards 8`)
+	jsonOut := flag.String("json", "", `write the run's rows as a JSON trajectory to this file
+(e.g. BENCH_shard.json for -fig shard)`)
 	flag.Parse()
 
 	if err := expr.SetMetric(*metric); err != nil {
 		fmt.Fprintf(os.Stderr, "ccabench: %v\n", err)
 		os.Exit(2)
 	}
+	expr.SetShards(*shards)
 
 	streaming := false
 	if *stream == 0 {
@@ -63,24 +70,35 @@ independent figure points through the shared scheduler concurrently
 		}
 	}
 
-	runners := map[string]func(float64) error{
-		"8":         wrap(expr.Fig8),
-		"9":         wrap(expr.Fig9),
-		"10":        wrap(expr.Fig10),
-		"11":        wrap(expr.Fig11),
-		"12":        wrap(expr.Fig12),
-		"13":        wrap(expr.Fig13),
-		"14":        wrap(expr.Fig14),
-		"15":        wrap(expr.Fig15),
-		"16":        wrap(expr.Fig16),
-		"17":        wrap(expr.Fig17),
-		"18":        wrap(expr.Fig18),
-		"ablation":  wrap(expr.Ablation),
-		"theta":     wrap(expr.ThetaSensitivity),
-		"baselines": wrap(expr.BaselineScaling),
-		"index":     wrap(expr.IndexPolicy),
+	trajectory := map[string][]expr.Row{}
+	wrap := func(name string, f func(float64, io.Writer) ([]expr.Row, error)) func(float64) error {
+		return func(s float64) error {
+			rows, err := f(s, os.Stdout)
+			if err == nil && *jsonOut != "" {
+				trajectory[name] = rows
+			}
+			return err
+		}
 	}
-	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index"}
+	runners := map[string]func(float64) error{
+		"8":         wrap("8", expr.Fig8),
+		"9":         wrap("9", expr.Fig9),
+		"10":        wrap("10", expr.Fig10),
+		"11":        wrap("11", expr.Fig11),
+		"12":        wrap("12", expr.Fig12),
+		"13":        wrap("13", expr.Fig13),
+		"14":        wrap("14", expr.Fig14),
+		"15":        wrap("15", expr.Fig15),
+		"16":        wrap("16", expr.Fig16),
+		"17":        wrap("17", expr.Fig17),
+		"18":        wrap("18", expr.Fig18),
+		"ablation":  wrap("ablation", expr.Ablation),
+		"theta":     wrap("theta", expr.ThetaSensitivity),
+		"baselines": wrap("baselines", expr.BaselineScaling),
+		"index":     wrap("index", expr.IndexPolicy),
+		"shard":     wrap("shard", expr.ShardScaling),
+	}
+	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index", "shard"}
 
 	var selected []string
 	if *fig == "all" {
@@ -111,11 +129,36 @@ independent figure points through the shared scheduler concurrently
 				i, w.Tasks, w.Busy.Round(time.Millisecond), 100*w.Utilization)
 		}
 	}
+
+	if *jsonOut != "" {
+		if err := writeTrajectory(*jsonOut, *scale, *shards, trajectory); err != nil {
+			fmt.Fprintf(os.Stderr, "ccabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrajectory written to %s\n", *jsonOut)
+	}
 }
 
-func wrap(f func(float64, io.Writer) ([]expr.Row, error)) func(float64) error {
-	return func(s float64) error {
-		_, err := f(s, os.Stdout)
+// writeTrajectory persists a run's measurements as JSON — the bench
+// trajectory file (BENCH_shard.json for the shard sweep) downstream
+// tooling diffs across commits.
+func writeTrajectory(path string, scale float64, shards int, figures map[string][]expr.Row) error {
+	doc := struct {
+		Scale   float64               `json:"scale"`
+		Metric  string                `json:"metric"`
+		Shards  int                   `json:"shards"`
+		Workers int                   `json:"workers"`
+		Figures map[string][]expr.Row `json:"figures"`
+	}{
+		Scale:   scale,
+		Metric:  expr.MetricName(),
+		Shards:  shards,
+		Workers: runtime.GOMAXPROCS(0),
+		Figures: figures,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
 		return err
 	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -39,6 +39,10 @@ func main() {
 		netSeed = flag.Int64("netseed", 2008, "road network seed for -metric network (ccagen's -seed)")
 		timeout = flag.Duration("timeout", 0, `abort the solve after this long (e.g. 30s, 2m; 0 = no limit);
 the solvers observe the deadline between augmenting iterations`)
+		shards = flag.Int("shards", 0, `region count for the sharded meta-solver (-algo sharded[:base]):
+0 = data-derived automatic count, 1 = no sharding`)
+		shardBand = flag.Float64("shardband", 0, `boundary band width for -algo sharded[:base], in data-space
+units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 		outPath = flag.String("out", "", "write the matching CSV here")
 	)
 	flag.Usage = func() {
@@ -66,6 +70,8 @@ the solvers observe the deadline between augmenting iterations`)
 
 	opts := cca.SolverOptions{Delta: *delta}
 	opts.Core.Theta = *theta
+	opts.Core.Shards = *shards
+	opts.Core.ShardBoundary = *shardBand
 
 	var netMetric *netmetric.NetworkMetric
 	switch strings.ToLower(*metric) {
@@ -116,6 +122,10 @@ the solvers observe the deadline between augmenting iterations`)
 		fmt.Printf("error bound    ≤ %.3f above optimal\n", res.ErrorBound)
 	}
 	fmt.Printf("subgraph |Esub| %d of %d\n", res.Metrics.SubgraphEdges, res.Metrics.FullGraphEdges)
+	if strings.HasPrefix(res.Solver, "sharded") && res.Groups > 0 {
+		fmt.Printf("shards         %d (region phase %v, reconcile %v)\n",
+			res.Groups, res.ConciseTime.Round(time.Millisecond), res.RefineTime.Round(time.Millisecond))
+	}
 	fmt.Printf("wall time      %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("page faults    %d (simulated I/O %v)\n", io.Faults, io.IOTime())
 

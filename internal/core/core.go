@@ -112,6 +112,24 @@ type Options struct {
 	// return its error mid-solve. nil means "never cancelled". The
 	// streaming engine threads each submission's context through here.
 	Ctx context.Context
+	// Shards is the number of spatial regions the "sharded" meta-solver
+	// splits one instance into (internal/shard): 0 selects a
+	// data-derived automatic count, 1 disables sharding. Ignored by the
+	// non-sharded solvers.
+	Shards int
+	// ShardBoundary is the sharded meta-solver's boundary band width in
+	// data-space units: customers whose distance to the nearest foreign-
+	// shard provider is within this band of their own shard's nearest
+	// provider are re-solved exactly across shards. 0 selects the
+	// default (5% of the data-space diagonal). Ignored otherwise.
+	ShardBoundary float64
+	// ShardWorkers bounds the sharded meta-solver's concurrent shard
+	// solves: 0 shares one process-wide GOMAXPROCS pool across all
+	// sharded solves (bounded even under a full engine batch of them),
+	// a positive value gives each solve a dedicated pool of that width.
+	// It changes wall-clock time only, never results: the sharded merge
+	// is deterministic by construction.
+	ShardWorkers int
 
 	// customCaps records whether the caller provided CustomerCap, so
 	// γ computation can skip the full scan for unit capacities.

@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/hilbert"
+)
+
+// fuzzInstance expands a fuzz input into a CCA instance. Coordinates
+// are drawn in the default space, with a duplicate-point cluster mixed
+// in on some seeds (Hilbert ties and zero distances are the partition's
+// edge cases).
+func fuzzInstance(seed int64, nq, np int) ([]core.Provider, []geo.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	providers := make([]core.Provider, nq)
+	for i := range providers {
+		pt := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		if seed%3 == 0 && i%2 == 0 {
+			pt = geo.Point{X: 500, Y: 500} // co-located providers
+		}
+		providers[i] = core.Provider{Pt: pt, Cap: 1 + rng.Intn(7)}
+	}
+	pts := make([]geo.Point, np)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		if seed%5 == 0 && i%3 == 0 {
+			pts[i] = providers[i%nq].Pt // customers on top of providers
+		}
+	}
+	return providers, pts
+}
+
+// FuzzShardPartition checks the partition invariants the sharded solve
+// relies on, over fuzzed instances, shard counts, and band widths:
+//
+//   - the regions cover the instance and their interiors are disjoint
+//     (every customer owned by exactly one region);
+//   - every provider sits in exactly one region, regions are contiguous
+//     along the Hilbert curve, and no region is empty of providers;
+//   - the boundary band contains exactly the customers within the band
+//     width (OtherDist − OwnDist ≤ band), and OwnDist is the true
+//     global nearest-provider distance (the lower bound the release
+//     rule quotes);
+//   - aggregate region capacity equals the instance capacity, so
+//     whenever the instance is feasible (Σ capacity ≥ |P|) the shards
+//     collectively still are.
+func FuzzShardPartition(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(40), uint8(2), 25.0)
+	f.Add(int64(2), uint8(1), uint8(10), uint8(1), 0.0)
+	f.Add(int64(3), uint8(12), uint8(200), uint8(4), 70.0)
+	f.Add(int64(6), uint8(9), uint8(90), uint8(200), -5.0)
+	f.Add(int64(10), uint8(6), uint8(0), uint8(3), 1000.0)
+	f.Fuzz(func(t *testing.T, seed int64, nqRaw, npRaw, kRaw uint8, band float64) {
+		nq := 1 + int(nqRaw)%32
+		np := int(npRaw)
+		k := int(kRaw)
+		if math.IsNaN(band) || math.IsInf(band, 0) {
+			band = 0
+		}
+		providers, pts := fuzzInstance(seed, nq, np)
+		plan := Partition(providers, pts, k, band, core.DefaultSpace)
+
+		wantK := k
+		if wantK > nq {
+			wantK = nq
+		}
+		if wantK < 1 {
+			wantK = 1
+		}
+		if len(plan.Regions) != wantK {
+			t.Fatalf("got %d regions, want %d (k=%d, nq=%d)", len(plan.Regions), wantK, k, nq)
+		}
+
+		// Providers: exactly one region each, no empty region, capacity
+		// conserved, Hilbert-contiguous runs.
+		seenProv := make([]int, nq)
+		totalCap, shardCap := 0, 0
+		for _, q := range providers {
+			totalCap += q.Cap
+		}
+		prevMax := uint64(0)
+		for r, reg := range plan.Regions {
+			if len(reg.Providers) == 0 {
+				t.Fatalf("region %d has no providers", r)
+			}
+			capSum := 0
+			minKey, maxKey := ^uint64(0), uint64(0)
+			for _, qi := range reg.Providers {
+				seenProv[qi]++
+				capSum += providers[qi].Cap
+				if plan.ProviderRegion[qi] != r {
+					t.Fatalf("provider %d: ProviderRegion %d, member of region %d", qi, plan.ProviderRegion[qi], r)
+				}
+				key := hilbert.PointKey(providers[qi].Pt, core.DefaultSpace)
+				if key < minKey {
+					minKey = key
+				}
+				if key > maxKey {
+					maxKey = key
+				}
+			}
+			if capSum != reg.Capacity {
+				t.Fatalf("region %d capacity %d, Σ members %d", r, reg.Capacity, capSum)
+			}
+			shardCap += reg.Capacity
+			if r > 0 && minKey < prevMax {
+				t.Fatalf("region %d overlaps region %d on the Hilbert curve (%d < %d)", r, r-1, minKey, prevMax)
+			}
+			prevMax = maxKey
+		}
+		for qi, n := range seenProv {
+			if n != 1 {
+				t.Fatalf("provider %d appears in %d regions", qi, n)
+			}
+		}
+		if shardCap != totalCap {
+			t.Fatalf("aggregate region capacity %d != instance capacity %d", shardCap, totalCap)
+		}
+		if np > 0 && totalCap >= np && shardCap < np {
+			t.Fatalf("feasible instance (Σk=%d >= |P|=%d) lost capacity to sharding (%d)", totalCap, np, shardCap)
+		}
+
+		// Customers: covered once, owner is the global nearest provider's
+		// region, band membership matches the definition exactly.
+		effBand := band
+		if effBand < 0 {
+			effBand = 0
+		}
+		seenCust := make([]int, np)
+		for r, reg := range plan.Regions {
+			inBoundary := make(map[int]bool, len(reg.Boundary))
+			for _, j := range reg.Boundary {
+				inBoundary[j] = true
+			}
+			for _, j := range reg.Owned {
+				seenCust[j]++
+				if plan.Owner[j] != r {
+					t.Fatalf("customer %d: Owner %d but owned by region %d", j, plan.Owner[j], r)
+				}
+				if inBand := plan.OtherDist[j]-plan.OwnDist[j] <= effBand; inBand != inBoundary[j] {
+					t.Fatalf("customer %d: band membership %v, want %v (own %g, other %g, band %g)",
+						j, inBoundary[j], inBand, plan.OwnDist[j], plan.OtherDist[j], effBand)
+				}
+			}
+		}
+		for j, n := range seenCust {
+			if n != 1 {
+				t.Fatalf("customer %d owned by %d regions", j, n)
+			}
+		}
+		for j, p := range pts {
+			best := math.Inf(1)
+			for _, q := range providers {
+				if d := p.Dist(q.Pt); d < best {
+					best = d
+				}
+			}
+			if math.Abs(best-plan.OwnDist[j]) > 1e-9 {
+				t.Fatalf("customer %d: OwnDist %g is not the global nearest-provider distance %g", j, plan.OwnDist[j], best)
+			}
+			ownBest := math.Inf(1)
+			for _, qi := range plan.Regions[plan.Owner[j]].Providers {
+				if d := p.Dist(providers[qi].Pt); d < ownBest {
+					ownBest = d
+				}
+			}
+			if math.Abs(ownBest-plan.OwnDist[j]) > 1e-9 {
+				t.Fatalf("customer %d: owner region's nearest provider %g != OwnDist %g", j, ownBest, plan.OwnDist[j])
+			}
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package shard_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/rtree"
+	"repro/internal/shard"
+)
+
+// sspaBase adapts core.SSPA as the shard SubSolver — the exact
+// main-memory baseline, independent of the solver registry (which this
+// package must not import).
+func sspaBase(ctx context.Context, providers []core.Provider, _ *rtree.Tree, items []rtree.Item, opts core.Options) (*core.Result, error) {
+	opts.Ctx = ctx
+	return core.SSPA(providers, items, opts)
+}
+
+func instance(seed int64, nq, np, capLo, capHi int) ([]core.Provider, []rtree.Item) {
+	rng := rand.New(rand.NewSource(seed))
+	providers := make([]core.Provider, nq)
+	for i := range providers {
+		providers[i] = core.Provider{
+			Pt:  geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Cap: capLo + rng.Intn(capHi-capLo+1),
+		}
+	}
+	items := make([]rtree.Item, np)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), Pt: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}}
+	}
+	return providers, items
+}
+
+func checkFeasible(t *testing.T, providers []core.Provider, np int, res *core.Result) {
+	t.Helper()
+	used := make([]int, len(providers))
+	seen := make(map[int64]bool)
+	sum := 0.0
+	for _, pr := range res.Pairs {
+		if seen[pr.CustomerID] {
+			t.Fatalf("customer %d assigned twice", pr.CustomerID)
+		}
+		seen[pr.CustomerID] = true
+		used[pr.Provider]++
+		sum += pr.Dist
+	}
+	gamma := 0
+	for qi, q := range providers {
+		gamma += q.Cap
+		if used[qi] > q.Cap {
+			t.Fatalf("provider %d over capacity (%d > %d)", qi, used[qi], q.Cap)
+		}
+	}
+	if np < gamma {
+		gamma = np
+	}
+	if res.Size != gamma {
+		t.Fatalf("matching size %d, want γ = %d", res.Size, gamma)
+	}
+	if math.Abs(sum-res.Cost) > 1e-6 {
+		t.Fatalf("cost %v does not match pair sum %v", res.Cost, sum)
+	}
+}
+
+// TestSolveFeasibleBothRegimes: the merged matching is feasible and
+// maximum whether the provider side binds (tight) or the customer side
+// does (loose, with capacity-starved regions stranding customers).
+func TestSolveFeasibleBothRegimes(t *testing.T) {
+	for _, tc := range []struct{ capLo, capHi int }{{1, 6}, {80, 120}} {
+		for seed := int64(1); seed <= 4; seed++ {
+			providers, items := instance(seed, 9, 300, tc.capLo, tc.capHi)
+			res, stats, err := shard.Solve(context.Background(), providers, items,
+				shard.Config{Shards: 3, Base: sspaBase}, core.Options{})
+			if err != nil {
+				t.Fatalf("seed %d caps [%d,%d]: %v", seed, tc.capLo, tc.capHi, err)
+			}
+			if stats.Shards != 3 {
+				t.Fatalf("solved %d regions, want 3", stats.Shards)
+			}
+			checkFeasible(t, providers, len(items), res)
+		}
+	}
+}
+
+// TestSolveDeterministicAcrossWorkers: the worker count must change
+// wall-clock time only — the merged pairs are byte-identical.
+func TestSolveDeterministicAcrossWorkers(t *testing.T) {
+	providers, items := instance(11, 12, 500, 4, 20)
+	var ref *core.Result
+	for _, workers := range []int{1, 2, 8} {
+		res, _, err := shard.Solve(context.Background(), providers, items,
+			shard.Config{Shards: 4, Workers: workers, Base: sspaBase}, core.Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref.Pairs, res.Pairs) || ref.Cost != res.Cost || ref.Size != res.Size {
+			t.Fatalf("workers=%d diverged: cost %v size %d vs cost %v size %d",
+				workers, res.Cost, res.Size, ref.Cost, ref.Size)
+		}
+	}
+}
+
+// TestSolveCancellation: a dead context surfaces as an error, not a
+// partial matching.
+func TestSolveCancellation(t *testing.T) {
+	providers, items := instance(5, 8, 400, 10, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := shard.Solve(ctx, providers, items,
+		shard.Config{Shards: 3, Base: sspaBase}, core.Options{}); err == nil {
+		t.Fatal("cancelled sharded solve returned no error")
+	}
+}
+
+// TestSolveEmpty: degenerate inputs produce empty matchings, not
+// panics.
+func TestSolveEmpty(t *testing.T) {
+	providers, items := instance(2, 4, 50, 1, 3)
+	res, _, err := shard.Solve(context.Background(), providers, nil,
+		shard.Config{Shards: 2, Base: sspaBase}, core.Options{})
+	if err != nil || res.Size != 0 {
+		t.Fatalf("no customers: res %+v, err %v", res, err)
+	}
+	res, _, err = shard.Solve(context.Background(), nil, items,
+		shard.Config{Shards: 2, Base: sspaBase}, core.Options{})
+	if err != nil || res.Size != 0 {
+		t.Fatalf("no providers: res %+v, err %v", res, err)
+	}
+	_ = providers
+}

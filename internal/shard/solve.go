@@ -1,0 +1,335 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/rtree"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// SubSolver solves one in-memory sub-instance (a region's providers and
+// customers, or the reconciliation instance). The sharded meta-solver in
+// internal/solver adapts any registered solver to this shape; opts is
+// the caller's core options with the instance-wide fields
+// (TotalCustomerCap, Shards) already cleared for the sub-instance.
+type SubSolver func(ctx context.Context, providers []core.Provider, tree *rtree.Tree, items []rtree.Item, opts core.Options) (*core.Result, error)
+
+// Config tunes a sharded solve.
+type Config struct {
+	// Shards is the region count (0 = automatic, see Count).
+	Shards int
+	// Band is the boundary band width (0 = default, see Band).
+	Band float64
+	// Workers bounds concurrent region solves. 0 (the default) runs
+	// regions on the package's shared GOMAXPROCS-wide pool, so any
+	// number of concurrent sharded solves — e.g. a full engine batch of
+	// them — stays bounded by the core count instead of oversubscribing
+	// it with per-solve pools. A positive value gives this solve a
+	// dedicated pool of exactly that width. Either way it only changes
+	// wall-clock time: the merge is deterministic regardless of
+	// completion order.
+	Workers int
+	// Base runs the per-region and reconciliation solves.
+	Base SubSolver
+}
+
+// regionPool is the shared execution pool for default-width sharded
+// solves: one process-wide sched.Pool of GOMAXPROCS workers, created on
+// first use and kept for the process lifetime (idle workers just wait).
+// Region tasks never submit further work to it, so solves waiting on
+// their regions cannot deadlock the pool.
+var regionPool struct {
+	sync.Mutex
+	pool *sched.Pool
+}
+
+func sharedPool() *sched.Pool {
+	regionPool.Lock()
+	defer regionPool.Unlock()
+	if regionPool.pool == nil {
+		regionPool.pool = sched.New(sched.Config{Workers: runtime.GOMAXPROCS(0)})
+	}
+	return regionPool.pool
+}
+
+// Stats describes what one sharded solve did.
+type Stats struct {
+	Shards             int           // regions solved
+	BoundaryCustomers  int           // customers inside the boundary band
+	Released           int           // region assignments released for reconciliation
+	Stranded           int           // customers no region could absorb (capacity overflow)
+	ReconcileCustomers int           // customers in the reconciliation re-solve
+	ReconcileProviders int           // providers with residual capacity in the re-solve
+	ShardWall          time.Duration // wall time of the concurrent region phase
+	ReconcileWall      time.Duration // wall time of the reconciliation phase
+}
+
+// releaseEps absorbs floating-point drift in the lower-bound release
+// test, mirroring core's Theorem 1 epsilon.
+const releaseEps = 1e-9
+
+// Solve runs one instance through the spatial decomposition: partition
+// (Partition), concurrent per-region solves on an internal/sched pool,
+// then the reconciliation pass — release every boundary-band assignment
+// and every assignment whose cost exceeds the customer's global lower
+// bound by more than the band width, and re-solve those customers
+// together with the nearest stranded ones against the residual provider
+// capacities. The returned matching is feasible and maximum
+// (|M| = min(Σ capacity, |P|)) whenever Base produces feasible maximum
+// matchings (every registered solver does), and it is byte-identical
+// across Workers settings: sub-results land in region-indexed slots and
+// the merge walks them in region order.
+//
+// opts.CustomerCap and opts.PairCapacity are not supported (the
+// feasibility argument assumes unit customer capacity); callers gate on
+// that before calling.
+func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, cfg Config, opts core.Options) (*core.Result, *Stats, error) {
+	start := time.Now()
+	space := opts.Space
+	if space.IsEmpty() {
+		space = core.DefaultSpace
+	}
+	k := Count(cfg.Shards, len(providers), len(items))
+	band := Band(cfg.Band, space)
+	stats := &Stats{Shards: k}
+
+	totalCap := 0
+	for _, q := range providers {
+		totalCap += q.Cap
+	}
+	gamma := totalCap
+	if len(items) < gamma {
+		gamma = len(items)
+	}
+	if gamma == 0 {
+		return &core.Result{Metrics: core.Metrics{FullGraphEdges: len(providers) * len(items)}}, stats, nil
+	}
+
+	plan := Partition(providers, itemPoints(items), k, band, space)
+	k = len(plan.Regions)
+	stats.Shards = k
+	for r := range plan.Regions {
+		stats.BoundaryCustomers += len(plan.Regions[r].Boundary)
+	}
+
+	// Phase 1: solve every region concurrently. Results land in
+	// region-indexed slots, so the merge below never depends on
+	// completion order.
+	subOpts := opts
+	subOpts.TotalCustomerCap = 0 // sub-instances have their own totals
+	subOpts.Shards = 1           // sub-solves are never themselves sharded
+	results := make([]*core.Result, k)
+	errs := make([]error, k)
+	shardStart := time.Now()
+	runRegion := func(ctx context.Context, r int) {
+		reg := &plan.Regions[r]
+		if len(reg.Owned) == 0 {
+			results[r] = &core.Result{}
+			return
+		}
+		subProviders := make([]core.Provider, len(reg.Providers))
+		for i, qi := range reg.Providers {
+			subProviders[i] = providers[qi]
+		}
+		subItems := make([]rtree.Item, len(reg.Owned))
+		for i, j := range reg.Owned {
+			subItems[i] = items[j]
+		}
+		results[r], errs[r] = solveSub(ctx, cfg.Base, subProviders, subItems, subOpts)
+	}
+	if workers := poolWorkers(cfg.Workers, k); workers > 1 {
+		pool := sharedPool()
+		dedicated := cfg.Workers > 0
+		if dedicated {
+			pool = sched.New(sched.Config{Workers: workers})
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < k; r++ {
+			r := r
+			wg.Add(1)
+			if err := pool.Submit(ctx, sched.Batch, func(ctx context.Context, _ sched.TaskInfo) {
+				defer wg.Done()
+				runRegion(ctx, r)
+			}); err != nil {
+				wg.Done()
+				errs[r] = err
+			}
+		}
+		wg.Wait()
+		if dedicated {
+			pool.Close()
+		}
+	} else {
+		for r := 0; r < k; r++ {
+			runRegion(ctx, r)
+		}
+	}
+	stats.ShardWall = time.Since(shardStart)
+	for r := 0; r < k; r++ { // first error in region order, deterministic
+		if errs[r] != nil {
+			return nil, stats, errs[r]
+		}
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+
+	// Phase 2: merge with release. An assignment is kept unless the
+	// customer sits in the boundary band or its cost exceeds the global
+	// lower bound (distance to the overall nearest provider — valid
+	// under every metric honoring the geo.Metric lower-bound contract)
+	// by more than the band width.
+	indexOf := make(map[int64]int, len(items))
+	for j, it := range items {
+		indexOf[it.ID] = j
+	}
+	kept := make([]core.Pair, 0, gamma)
+	used := make([]int, len(providers))
+	assigned := make([]bool, len(items))
+	var released []int
+	agg := core.Metrics{FullGraphEdges: len(providers) * len(items)}
+	for r := 0; r < k; r++ {
+		res := results[r]
+		addMetrics(&agg, &res.Metrics)
+		reg := &plan.Regions[r]
+		for _, pr := range res.Pairs {
+			j, ok := indexOf[pr.CustomerID]
+			if !ok {
+				return nil, stats, fmt.Errorf("shard: region %d assigned unknown customer %d", r, pr.CustomerID)
+			}
+			assigned[j] = true
+			if plan.InBand(j) || pr.Dist > plan.OwnDist[j]+plan.Band+releaseEps {
+				released = append(released, j)
+				continue // re-solved in phase 3
+			}
+			global := pr
+			global.Provider = reg.Providers[pr.Provider]
+			kept = append(kept, global)
+			used[global.Provider]++
+		}
+	}
+	stats.Released = len(released)
+
+	// Phase 3: reconciliation. Candidates are every released customer
+	// plus the nearest stranded ones (owned by a capacity-starved
+	// region) — at least γ − |kept| of them, so the re-solve provably
+	// restores |M| = γ, and at most a few multiples of the residual
+	// capacity, so it stays a fraction of the instance.
+	residualTotal := totalCap - len(kept)
+	var unassigned []int
+	for j := range items {
+		if !assigned[j] {
+			unassigned = append(unassigned, j)
+		}
+	}
+	stats.Stranded = len(unassigned)
+	reconcile := append(released, nearestUnassigned(unassigned, plan.OwnDist, 3*residualTotal+64)...)
+	stats.ReconcileCustomers = len(reconcile)
+
+	reconStart := time.Now()
+	if residualTotal > 0 && len(reconcile) > 0 {
+		subProviders := make([]core.Provider, 0, len(providers))
+		provMap := make([]int, 0, len(providers))
+		for qi, q := range providers {
+			if res := q.Cap - used[qi]; res > 0 {
+				subProviders = append(subProviders, core.Provider{Pt: q.Pt, Cap: res})
+				provMap = append(provMap, qi)
+			}
+		}
+		stats.ReconcileProviders = len(subProviders)
+		subItems := make([]rtree.Item, len(reconcile))
+		for i, j := range reconcile {
+			subItems[i] = items[j]
+		}
+		res, err := solveSub(ctx, cfg.Base, subProviders, subItems, subOpts)
+		if err != nil {
+			return nil, stats, err
+		}
+		addMetrics(&agg, &res.Metrics)
+		for _, pr := range res.Pairs {
+			global := pr
+			global.Provider = provMap[pr.Provider]
+			kept = append(kept, global)
+		}
+	}
+	stats.ReconcileWall = time.Since(reconStart)
+
+	cost := 0.0
+	for _, pr := range kept {
+		cost += pr.Dist
+	}
+	// CPUTime reports the sharded solve's wall clock — the honest
+	// "time to answer" when regions overlap — not the (larger) sum of
+	// per-region CPU times.
+	agg.CPUTime = time.Since(start)
+	return &core.Result{Pairs: kept, Cost: cost, Size: len(kept), Metrics: agg}, stats, nil
+}
+
+// solveSub builds a fresh in-memory R-tree over the sub-instance's
+// items and runs the base solver on it. The bulk-load buffer is sized
+// so the sub-solve never faults: shard-local trees are main-memory
+// scratch, not the paper's disk-resident dataset — the original
+// dataset's I/O is charged once, by the All scan that materialized the
+// items.
+func solveSub(ctx context.Context, base SubSolver, providers []core.Provider, items []rtree.Item, opts core.Options) (*core.Result, error) {
+	buf := storage.NewBuffer(storage.NewMemStore(storage.DefaultPageSize), 1<<20)
+	tree, err := rtree.Bulk(buf, items)
+	if err != nil {
+		return nil, err
+	}
+	return base(ctx, providers, tree, items, opts)
+}
+
+func itemPoints(items []rtree.Item) []geo.Point {
+	pts := make([]geo.Point, len(items))
+	for i, it := range items {
+		pts[i] = it.Pt
+	}
+	return pts
+}
+
+// poolWorkers sizes the region-solve pool: never wider than the region
+// count, GOMAXPROCS by default.
+func poolWorkers(requested, k int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > k {
+		w = k
+	}
+	return w
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// addMetrics accumulates a sub-solve's work counters into the sharded
+// result's aggregate (timings are handled by the caller).
+func addMetrics(dst, src *core.Metrics) {
+	dst.SubgraphEdges += src.SubgraphEdges
+	dst.Dijkstras += src.Dijkstras
+	dst.Resumes += src.Resumes
+	dst.Pops += src.Pops
+	dst.Relaxations += src.Relaxations
+	dst.Repairs += src.Repairs
+	dst.RangeSearches += src.RangeSearches
+	dst.NNRetrievals += src.NNRetrievals
+	dst.KeyUpdates += src.KeyUpdates
+	dst.IO.Hits += src.IO.Hits
+	dst.IO.Faults += src.IO.Faults
+	dst.IO.PhysicalReads += src.IO.PhysicalReads
+	dst.IO.PhysicalWrites += src.IO.PhysicalWrites
+	dst.IOTime += src.IOTime
+}

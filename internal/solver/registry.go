@@ -12,11 +12,24 @@ import (
 // solvers from many workers).
 var registry = struct {
 	sync.RWMutex
-	byName  map[string]Solver
-	aliases map[string]string
+	byName    map[string]Solver
+	aliases   map[string]string
+	factories map[string]factory
+	derived   map[string]Solver // memoized factory products ("sharded:sspa")
 }{
-	byName:  make(map[string]Solver),
-	aliases: make(map[string]string),
+	byName:    make(map[string]Solver),
+	aliases:   make(map[string]string),
+	factories: make(map[string]factory),
+	derived:   make(map[string]Solver),
+}
+
+// factory builds parameterized solvers on demand: Get("prefix:arg")
+// calls fn(arg), Get("prefix") alone calls fn("") for the family
+// default. kind and doc seed the Describe/Names listings.
+type factory struct {
+	kind Kind
+	doc  string
+	fn   func(arg string) (Solver, error)
 }
 
 // Register adds a solver under its canonical name (lower-cased). It
@@ -32,7 +45,36 @@ func Register(s Solver) {
 	if _, dup := registry.aliases[name]; dup {
 		panic(fmt.Sprintf("solver: name %q already registered as an alias", name))
 	}
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("solver: name %q already registered as a factory prefix", name))
+	}
 	registry.byName[name] = s
+}
+
+// RegisterFactory adds a parameterized solver family under prefix:
+// Get(prefix+":"+arg) builds (and memoizes) an instance with fn(arg),
+// and Get(prefix) alone builds the family default (fn("")). The prefix
+// appears in Names/Describe like a regular solver — it resolves, via
+// the default — with doc as its description. fn itself may resolve
+// other solvers with Get (it runs without the registry lock held), but
+// must not recurse into its own family.
+func RegisterFactory(prefix string, kind Kind, doc string, fn func(arg string) (Solver, error)) {
+	prefix = strings.ToLower(prefix)
+	if strings.Contains(prefix, ":") {
+		panic(fmt.Sprintf("solver: factory prefix %q must not contain ':'", prefix))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[prefix]; dup {
+		panic(fmt.Sprintf("solver: factory prefix %q collides with a solver name", prefix))
+	}
+	if _, dup := registry.aliases[prefix]; dup {
+		panic(fmt.Sprintf("solver: factory prefix %q collides with an alias", prefix))
+	}
+	if _, dup := registry.factories[prefix]; dup {
+		panic(fmt.Sprintf("solver: duplicate factory registration of %q", prefix))
+	}
+	registry.factories[prefix] = factory{kind: kind, doc: doc, fn: fn}
 }
 
 // RegisterAlias maps an alternative name onto a canonical one (e.g.
@@ -47,23 +89,73 @@ func RegisterAlias(alias, canonical string) {
 	if _, dup := registry.byName[alias]; dup {
 		panic(fmt.Sprintf("solver: alias %q collides with a solver name", alias))
 	}
+	if _, dup := registry.factories[alias]; dup {
+		panic(fmt.Sprintf("solver: alias %q collides with a factory prefix", alias))
+	}
 	registry.aliases[alias] = canonical
 }
 
-// Get resolves a solver by name or alias, case-insensitively. The error
-// on a miss lists every registered name.
+// Get resolves a solver by name or alias, case-insensitively.
+// Parameterized names ("sharded:sspa", or a bare factory prefix like
+// "sharded" for the family default) are built by their registered
+// factory on first use and memoized. The error on a miss lists every
+// registered name.
 func Get(name string) (Solver, error) {
 	key := strings.ToLower(strings.TrimSpace(name))
 	registry.RLock()
-	defer registry.RUnlock()
 	if canonical, ok := registry.aliases[key]; ok {
 		key = canonical
 	}
 	if s, ok := registry.byName[key]; ok {
+		registry.RUnlock()
 		return s, nil
 	}
-	return nil, fmt.Errorf("solver: unknown solver %q (registered: %s)",
-		name, strings.Join(namesLocked(), ", "))
+	if s, ok := registry.derived[key]; ok {
+		registry.RUnlock()
+		return s, nil
+	}
+	fac, arg, ok := factoryForLocked(key)
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown solver %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	// Build outside the lock: factories resolve their base through Get.
+	built, err := fac.fn(arg)
+	if err != nil {
+		return nil, err
+	}
+	canonical := strings.ToLower(built.Name())
+	registry.Lock()
+	defer registry.Unlock()
+	if prior, ok := registry.derived[canonical]; ok {
+		built = prior // another goroutine won the build race
+	} else {
+		registry.derived[canonical] = built
+	}
+	if key != canonical {
+		// Memoize the requested spelling too ("sharded" → default base,
+		// "sharded:sm" → canonical "sharded:greedy").
+		if _, ok := registry.derived[key]; !ok {
+			registry.derived[key] = built
+		}
+	}
+	return built, nil
+}
+
+// factoryForLocked matches a lookup key against the factory table:
+// either a bare prefix (family default) or "prefix:arg". Caller holds
+// at least the read lock.
+func factoryForLocked(key string) (factory, string, bool) {
+	if fac, ok := registry.factories[key]; ok {
+		return fac, "", true
+	}
+	if i := strings.IndexByte(key, ':'); i > 0 {
+		if fac, ok := registry.factories[key[:i]]; ok {
+			return fac, key[i+1:], true
+		}
+	}
+	return factory{}, "", false
 }
 
 // MustGet is Get for static names; it panics on a miss.
@@ -75,7 +167,8 @@ func MustGet(name string) Solver {
 	return s
 }
 
-// Names returns every canonical solver name, sorted.
+// Names returns every canonical solver name plus every factory prefix
+// (each resolvable via Get as its family default), sorted.
 func Names() []string {
 	registry.RLock()
 	defer registry.RUnlock()
@@ -83,15 +176,19 @@ func Names() []string {
 }
 
 func namesLocked() []string {
-	out := make([]string, 0, len(registry.byName))
+	out := make([]string, 0, len(registry.byName)+len(registry.factories))
 	for name := range registry.byName {
 		out = append(out, name)
+	}
+	for prefix := range registry.factories {
+		out = append(out, prefix)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// ByKind returns the sorted canonical names of the solvers of one kind.
+// ByKind returns the sorted canonical names (and factory prefixes) of
+// the solvers of one kind.
 func ByKind(k Kind) []string {
 	registry.RLock()
 	defer registry.RUnlock()
@@ -101,21 +198,37 @@ func ByKind(k Kind) []string {
 			out = append(out, name)
 		}
 	}
+	for prefix, fac := range registry.factories {
+		if fac.kind == k {
+			out = append(out, prefix)
+		}
+	}
 	sort.Strings(out)
 	return out
 }
 
-// Describe returns one "name (kind): doc" line per registered solver,
-// sorted by name — the CLIs' -algo help text.
+// Describe returns one "name (kind): doc" line per registered solver
+// and factory family, sorted by name — the CLIs' -algo help text.
 func Describe() []string {
 	registry.RLock()
 	defer registry.RUnlock()
-	out := make([]string, 0, len(registry.byName))
-	for _, name := range namesLocked() {
-		s := registry.byName[name]
-		line := fmt.Sprintf("%s (%s)", name, s.Kind())
-		if d, ok := s.(Doc); ok && d.Doc() != "" {
-			line += ": " + d.Doc()
+	names := namesLocked()
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		var kind Kind
+		var doc string
+		if s, ok := registry.byName[name]; ok {
+			kind = s.Kind()
+			if d, ok := s.(Doc); ok {
+				doc = d.Doc()
+			}
+		} else {
+			fac := registry.factories[name]
+			kind, doc = fac.kind, fac.doc
+		}
+		line := fmt.Sprintf("%s (%s)", name, kind)
+		if doc != "" {
+			line += ": " + doc
 		}
 		out = append(out, line)
 	}

@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// benchShardInstance is the acceptance-scale instance: 50k customers,
+// 40 providers of capacity 5 (γ = 200) — large enough that serial
+// SSPA's per-iteration full-bipartite relaxation dominates, the shape
+// sharding exists for.
+func benchShardInstance(b *testing.B) ([]core.Provider, Dataset) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	const nq, np = 40, 50000
+	providers := make([]core.Provider, nq)
+	for i := range providers {
+		providers[i] = core.Provider{
+			Pt:  geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Cap: 5,
+		}
+	}
+	items := make([]rtree.Item, np)
+	for i := range items {
+		items[i] = rtree.Item{ID: int64(i), Pt: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}}
+	}
+	buf := storage.NewBuffer(storage.NewMemStore(storage.DefaultPageSize), 1<<20)
+	tree, err := rtree.Bulk(buf, items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return providers, FromTreeItems(tree, items)
+}
+
+// BenchmarkShardedVsSerial pins the sharding speedup: sharded:sspa on
+// 8 regions vs single-worker SSPA on one ≥50k-customer instance. The
+// sharded run wins on two axes — regions solve concurrently, and each
+// region's bipartite graph is ~k² smaller than the full one — so the
+// >1.5× acceptance bar holds even on a single core. CI runs this with
+// -benchtime=1x as a smoke step; compare the two sub-benchmark times
+// for the measured ratio.
+func BenchmarkShardedVsSerial(b *testing.B) {
+	providers, data := benchShardInstance(b)
+	ctx := context.Background()
+
+	b.Run("serial-sspa", func(b *testing.B) {
+		s := MustGet("sspa")
+		for i := 0; i < b.N; i++ {
+			res, err := s.Solve(ctx, providers, data, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Size != 200 {
+				b.Fatalf("matching size %d, want 200", res.Size)
+			}
+		}
+	})
+	b.Run("sharded-sspa", func(b *testing.B) {
+		s := MustGet("sharded:sspa")
+		opts := Options{}
+		opts.Core.Shards = 8
+		for i := 0; i < b.N; i++ {
+			res, err := s.Solve(ctx, providers, data, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Size != 200 {
+				b.Fatalf("matching size %d, want 200", res.Size)
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
+	"repro/internal/shard"
+)
+
+// shardInstance draws one instance big enough that a spatial partition
+// is meaningful. regime selects the capacity pressure: "tight" keeps
+// Σ capacity well below |P| (the provider side binds and every region
+// fills up — the sharding sweet spot), "loose" inflates capacities past
+// |P| (the customer side binds, every customer is assigned, and
+// capacity-starved regions must strand customers for reconciliation to
+// absorb). Customers are a mix of provider-centered clusters and
+// uniform background, so region borders actually cut clusters.
+func shardInstance(seed int64, regime string) ([]core.Provider, []geo.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	nq := 8 + rng.Intn(5)
+	np := 200 + rng.Intn(200)
+	providers := make([]core.Provider, nq)
+	for i := range providers {
+		var cap int
+		switch regime {
+		case "tight":
+			cap = 1 + rng.Intn(np/(2*nq)+1) // Σ ≈ |P|/4
+		default: // loose
+			cap = np/nq + 1 + rng.Intn(np/nq+1) // Σ ≈ 1.5·|P|
+		}
+		providers[i] = core.Provider{
+			Pt:  geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Cap: cap,
+		}
+	}
+	pts := make([]geo.Point, np)
+	for i := range pts {
+		if i%2 == 0 {
+			q := providers[rng.Intn(nq)].Pt
+			pts[i] = geo.Point{
+				X: clamp1000(q.X + rng.NormFloat64()*120),
+				Y: clamp1000(q.Y + rng.NormFloat64()*120),
+			}
+		} else {
+			pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		}
+	}
+	return providers, pts
+}
+
+func clamp1000(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1000 {
+		return 1000
+	}
+	return v
+}
+
+// TestShardedConformance is the cross-shard conformance suite: the
+// sharded meta-solver over exact bases, across capacity regimes and
+// both distance backends, against the independent Bellman–Ford oracle.
+// It asserts exact feasibility (every assignment valid, |M| = γ — the
+// validate helper) and that the total cost can neither beat the optimum
+// nor exceed it by more than the documented gap bound (shard.GapBound,
+// for the default band).
+func TestShardedConformance(t *testing.T) {
+	net := datagen.NewNetwork(10, netSpace, 2008)
+	metrics := map[string]geo.Metric{
+		"euclidean": geo.Euclidean,
+		"network":   netmetric.FromNetwork(net),
+	}
+	for mName, metric := range metrics {
+		t.Run(mName, func(t *testing.T) {
+			for _, regime := range []string{"tight", "loose"} {
+				for seed := int64(1); seed <= 3; seed++ {
+					providers, pts := shardInstance(seed*7, regime)
+					data := buildDataset(t, pts)
+					want := refCost(providers, pts, metric)
+					for _, base := range []string{"sspa", "ida"} {
+						for _, shards := range []int{2, 3} {
+							opts := Options{}
+							opts.Core.Metric = metric
+							opts.Core.Shards = shards
+							name := "sharded:" + base
+							res, err := MustGet(name).Solve(context.Background(), providers, data, opts)
+							if err != nil {
+								t.Fatalf("%s/%s seed %d k=%d: %v", regime, name, seed, shards, err)
+							}
+							label := regime + "/" + name + "/" + mName
+							validate(t, label, providers, len(pts), res)
+							if res.Solver != name || res.Kind != Heuristic {
+								t.Fatalf("%s: result metadata %q/%v", label, res.Solver, res.Kind)
+							}
+							if res.Groups != shards {
+								t.Errorf("%s: solved %d regions, want %d", label, res.Groups, shards)
+							}
+							if res.Cost < want-1e-6 {
+								t.Errorf("%s seed %d k=%d: cost %.6f beats the optimum %.6f",
+									label, seed, shards, res.Cost, want)
+							}
+							if limit := want * (1 + shard.GapBound); res.Cost > limit+1e-6 {
+								t.Errorf("%s seed %d k=%d: cost %.6f exceeds the gap bound (optimum %.6f, limit %.6f)",
+									label, seed, shards, res.Cost, want, limit)
+							}
+							// Pair distances must be measured in the metric
+							// across both the region and reconcile phases.
+							for _, pr := range res.Pairs {
+								md := metric.Dist(providers[pr.Provider].Pt, pr.CustomerPt)
+								if math.Abs(md-pr.Dist) > 1e-6 {
+									t.Fatalf("%s seed %d: pair dist %.9f != metric %.9f",
+										label, seed, pr.Dist, md)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedHeuristicBase: wrapping a heuristic base must still yield
+// a feasible maximum matching no cheaper than the optimum.
+func TestShardedHeuristicBase(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		providers, pts := shardInstance(seed, "tight")
+		data := buildDataset(t, pts)
+		want := refCost(providers, pts, geo.Euclidean)
+		opts := Options{}
+		opts.Core.Shards = 3
+		res, err := MustGet("sharded:greedy").Solve(context.Background(), providers, data, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		validate(t, "sharded:greedy", providers, len(pts), res)
+		if res.Cost < want-1e-6 {
+			t.Errorf("seed %d: sharded:greedy cost %.6f beats the optimum %.6f", seed, res.Cost, want)
+		}
+	}
+}
+
+// TestShardedAutoCount: with Shards = 0 the count is data-derived —
+// small instances collapse to the unsharded base, large ones split.
+func TestShardedAutoCount(t *testing.T) {
+	if k := shard.Count(0, 16, 100); k != 1 {
+		t.Errorf("auto count on a small instance = %d, want 1", k)
+	}
+	if k := shard.Count(0, 16, 10000); k < 2 {
+		t.Errorf("auto count on a large instance = %d, want >= 2", k)
+	}
+	if k := shard.Count(0, 3, 1<<20); k != 3 {
+		t.Errorf("auto count with 3 providers = %d, want 3 (one provider per region minimum)", k)
+	}
+	if k := shard.Count(64, 8, 100); k != 8 {
+		t.Errorf("requested count must clamp to the provider count: got %d, want 8", k)
+	}
+}
+
+// TestShardedRegistry exercises the factory resolution path: bare
+// family default, parameterized lookup, alias canonicalization,
+// memoization, and the error cases.
+func TestShardedRegistry(t *testing.T) {
+	s, err := Get("sharded")
+	if err != nil {
+		t.Fatalf("Get(sharded): %v", err)
+	}
+	if s.Name() != "sharded:ida" {
+		t.Errorf("bare sharded resolved to %q, want sharded:ida", s.Name())
+	}
+	s2, err := Get("SHARDED:IDA")
+	if err != nil || s2 != s {
+		t.Errorf("Get(SHARDED:IDA) = %v, %v; want the memoized %v", s2, err, s)
+	}
+	if s3, err := Get("sharded:sm"); err != nil || s3.Name() != "sharded:greedy" {
+		t.Errorf("alias base: Get(sharded:sm) = %v, %v; want sharded:greedy", s3, err)
+	}
+	if _, err := Get("sharded:nope"); err == nil {
+		t.Error("Get(sharded:nope) should fail on the unknown base")
+	}
+	if _, err := Get("sharded:sharded"); err == nil {
+		t.Error("Get(sharded:sharded) should reject recursive sharding")
+	}
+	if _, err := Get("sharded:sharded:sspa"); err == nil {
+		t.Error("Get(sharded:sharded:sspa) should reject recursive sharding")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "sharded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() should list the sharded family: %v", Names())
+	}
+	if len(Names()) != len(Describe()) {
+		t.Errorf("Names (%d) and Describe (%d) disagree", len(Names()), len(Describe()))
+	}
+}
+
+// TestShardedRejectsCustomCaps: the decomposition's feasibility
+// argument assumes unit customer capacity, so the meta-solver must
+// refuse rather than silently miscount.
+func TestShardedRejectsCustomCaps(t *testing.T) {
+	providers, pts := shardInstance(1, "tight")
+	data := buildDataset(t, pts)
+	opts := Options{}
+	opts.Core.Shards = 2
+	opts.Core.CustomerCap = func(int64) int { return 2 }
+	if _, err := MustGet("sharded:sspa").Solve(context.Background(), providers, data, opts); err == nil {
+		t.Error("sharded solve with CustomerCap should fail")
+	}
+}

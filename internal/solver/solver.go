@@ -110,7 +110,10 @@ type Result struct {
 	// (also 0) for Heuristic ones.
 	ErrorBound float64
 	// Groups, ConciseEdges, ConciseTime and RefineTime carry the
-	// approximate solvers' phase breakdown (zero otherwise).
+	// approximate solvers' phase breakdown (zero otherwise). The
+	// sharded meta-solver reuses them for its own phases: Groups is the
+	// region count, ConciseTime the concurrent region-solve wall and
+	// RefineTime the boundary-reconciliation wall.
 	Groups       int
 	ConciseEdges int
 	ConciseTime  time.Duration

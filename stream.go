@@ -225,6 +225,12 @@ func (e *Engine) resultKeyFor(canonical string, in Instance) (resultKey, bool) {
 	putF(o.Core.Space.Max.Y)
 	put64(uint64(int64(o.Core.TotalCustomerCap)))
 	put64(uint64(int64(o.Core.PairCapacity)))
+	// Sharding knobs that change the matching. ShardWorkers is omitted
+	// on purpose: it only alters wall-clock time (the sharded merge is
+	// deterministic across worker counts — pinned by the determinism
+	// suite), so instances differing only in it share a cache entry.
+	put64(uint64(int64(o.Core.Shards)))
+	putF(o.Core.ShardBoundary)
 
 	key := resultKey{dataset: in.Customers.id, metric: o.Core.Metric}
 	h.Sum(key.digest[:0])
