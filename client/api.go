@@ -1,0 +1,209 @@
+// Package client is the Go client for ccad, the CCA assignment
+// service (cmd/ccad). It speaks the service's JSON wire format — the
+// types in this file are the protocol, shared by the server
+// (internal/server) and every consumer (the conformance tests, the
+// ccabench -serve load generator, and external callers).
+//
+// The wire format carries float64 coordinates and distances through
+// encoding/json, which marshals them with the shortest representation
+// that round-trips exactly, so a matching fetched over HTTP is
+// bit-identical to the one the in-process solver produced — the
+// server-path conformance tests assert exactly that.
+package client
+
+// Provider is one capacitated service provider.
+type Provider struct {
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+	Cap int     `json:"cap"`
+}
+
+// Customer is one customer point with its identifier.
+type Customer struct {
+	ID int64   `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// Options tunes a solve; the zero value selects the paper defaults
+// (mirrors cca.SolverOptions field by field, minus the non-serializable
+// ones: metric values travel as Instance.Metric, and function-valued
+// options have no wire form).
+type Options struct {
+	// Theta is RIA's range increment θ (0 = the paper's 0.8).
+	Theta float64 `json:"theta,omitempty"`
+	// Delta is the approximate solvers' δ (0 = paper default).
+	Delta float64 `json:"delta,omitempty"`
+	// Shards / ShardBoundary / ShardWorkers tune "sharded:*" solvers.
+	Shards        int     `json:"shards,omitempty"`
+	ShardBoundary float64 `json:"shard_boundary,omitempty"`
+	ShardWorkers  int     `json:"shard_workers,omitempty"`
+	// Ablation switches (see core.Options).
+	DisablePUA      bool `json:"disable_pua,omitempty"`
+	DisableTheorem2 bool `json:"disable_theorem2,omitempty"`
+	DisableANN      bool `json:"disable_ann,omitempty"`
+	ANNGroupSize    int  `json:"ann_group_size,omitempty"`
+}
+
+// Instance is one solve request: a provider set plus a customer set —
+// inline points or a server-side named dataset, exactly one of the two.
+type Instance struct {
+	// Label identifies the instance in results (optional).
+	Label string `json:"label,omitempty"`
+	// Solver is the registry name ("" = the server's default, normally
+	// "ida"; "sharded:<base>" selects the sharded meta-solver).
+	Solver string `json:"solver,omitempty"`
+	// Providers is the capacitated provider set Q.
+	Providers []Provider `json:"providers"`
+	// Customers carries the customer points inline. Mutually exclusive
+	// with Dataset.
+	Customers []Customer `json:"customers,omitempty"`
+	// Dataset names a server-side dataset (see GET /v1/datasets).
+	// Named datasets are indexed once and shared, so repeated solves
+	// hit the engine's result cache; inline customers are re-indexed
+	// per request and never do.
+	Dataset string `json:"dataset,omitempty"`
+	// Metric selects the distance backend: "" or "euclidean" (the
+	// paper's setting) or "network" (shortest-path over the synthetic
+	// road network with NetGrid/NetSeed, defaults 32/2008). The server
+	// bounds NetGrid and the number of distinct (NetGrid, NetSeed)
+	// networks it will materialize; out-of-range values fail the
+	// instance.
+	Metric  string `json:"metric,omitempty"`
+	NetGrid int    `json:"net_grid,omitempty"`
+	NetSeed int64  `json:"net_seed,omitempty"`
+	// Options tunes the solve (nil = defaults).
+	Options *Options `json:"options,omitempty"`
+	// Lane selects the scheduling priority: "" or "interactive"
+	// (drained first) or "batch" (bulk throughput work).
+	Lane string `json:"lane,omitempty"`
+	// TimeoutMS bounds this instance's solve in milliseconds (0 = the
+	// server's default). The deadline is observed between augmenting
+	// iterations; an expired instance reports a context error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	Instances []Instance `json:"instances"`
+}
+
+// Pair is one (provider, customer) assignment of a matching. It carries
+// the customer's coordinates so the wire result round-trips the full
+// cca.Pair.
+type Pair struct {
+	Provider int     `json:"provider"`
+	Customer int64   `json:"customer"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Dist     float64 `json:"dist"`
+}
+
+// InstanceResult is one instance's outcome. Exactly one of Pairs/Error
+// is meaningful: a failed instance reports Error and no matching.
+type InstanceResult struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label,omitempty"`
+	Solver string `json:"solver"`
+	// Kind is the solver's guarantee class: exact | approximate |
+	// heuristic.
+	Kind string `json:"kind,omitempty"`
+	Size int    `json:"size"`
+	// Cost is Ψ(M), the summed pair distance.
+	Cost  float64 `json:"cost"`
+	Pairs []Pair  `json:"pairs,omitempty"`
+	// ErrorBound bounds Ψ(M) − Ψ(M_CCA) for approximate solvers.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	// Cached reports a result served from the engine's cross-instance
+	// result cache.
+	Cached bool `json:"cached,omitempty"`
+	// WallNS / QueueWaitNS are the solve's own wall time and the time
+	// it waited for a worker, in nanoseconds.
+	WallNS      int64 `json:"wall_ns"`
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	// Worker is the pool worker that ran the instance (-1 = never ran).
+	Worker int    `json:"worker"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Fleet aggregates one solve request's instances (the wire form of
+// cca.FleetMetrics).
+type Fleet struct {
+	Instances   int     `json:"instances"`
+	Solved      int     `json:"solved"`
+	Errors      int     `json:"errors"`
+	Pairs       int     `json:"pairs"`
+	Cost        float64 `json:"cost"`
+	CacheHits   int     `json:"cache_hits"`
+	WallNS      int64   `json:"wall_ns"`
+	SolveWallNS int64   `json:"solve_wall_ns"`
+	QueueWaitNS int64   `json:"queue_wait_ns"`
+}
+
+// SolveResponse is the buffered response of POST /v1/solve. Streamed
+// responses (?stream=ndjson or ?stream=sse) deliver the same
+// InstanceResult values one by one in completion order, then one final
+// Fleet.
+type SolveResponse struct {
+	Results []InstanceResult `json:"results"`
+	Fleet   Fleet            `json:"fleet"`
+}
+
+// StreamEnvelope is one NDJSON line of a streamed solve response:
+// exactly one field is set — Result for each completed instance (in
+// completion order), then Fleet on the final line.
+type StreamEnvelope struct {
+	Result *InstanceResult `json:"result,omitempty"`
+	Fleet  *Fleet          `json:"fleet,omitempty"`
+}
+
+// SessionRequest is the body of POST /v1/sessions: the provider set an
+// online session assigns arriving customers to. Sessions measure
+// Euclidean distance (the incremental matcher's setting).
+type SessionRequest struct {
+	Providers []Provider `json:"providers"`
+}
+
+// SessionInfo describes a created session.
+type SessionInfo struct {
+	ID string `json:"id"`
+	// Capacity is Γ = Σ provider capacities — the maximum matching size.
+	Capacity int `json:"capacity"`
+}
+
+// ArriveRequest is the body of POST /v1/sessions/{id}/arrive.
+type ArriveRequest struct {
+	ID int64   `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// ArriveResponse reports an arrival's effect. Matched says whether this
+// customer holds a slot right now; later arrivals may re-route or evict
+// it (poll GET /v1/sessions/{id}/matching for the current state).
+type ArriveResponse struct {
+	Matched  bool    `json:"matched"`
+	Size     int     `json:"size"`
+	Cost     float64 `json:"cost"`
+	Arrivals int     `json:"arrivals"`
+}
+
+// MatchingResponse is the body of GET /v1/sessions/{id}/matching.
+type MatchingResponse struct {
+	Size  int     `json:"size"`
+	Cost  float64 `json:"cost"`
+	Pairs []Pair  `json:"pairs"`
+}
+
+// DatasetInfo describes one server-side named dataset.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	// Customers is the indexed point count (-1 when the dataset exists
+	// on disk but has not been loaded yet).
+	Customers int `json:"customers"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,218 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client talks to one ccad server. The zero value is not usable; build
+// one with New. It is safe for concurrent use (it shares one
+// http.Client).
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient nil selects http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	// StatusCode is the HTTP status (429 signals admission backpressure;
+	// honor RetryAfter before resubmitting).
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+	// RetryAfter is the Retry-After header in seconds (0 when absent).
+	RetryAfter int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ccad: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// IsBackpressure reports whether err is the server shedding load
+// (HTTP 429): the request was not admitted and can be retried after
+// RetryAfter seconds.
+func IsBackpressure(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// do runs one JSON round-trip; out nil skips decoding the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// send issues the request and maps non-2xx statuses to *APIError.
+func (c *Client) send(ctx context.Context, method, path string, in any, accept string) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		ae := &APIError{StatusCode: resp.StatusCode}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			ae.RetryAfter = ra
+		}
+		var eresp ErrorResponse
+		if data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+			if json.Unmarshal(data, &eresp) == nil && eresp.Error != "" {
+				ae.Message = eresp.Error
+			} else {
+				ae.Message = strings.TrimSpace(string(data))
+			}
+		}
+		return nil, ae
+	}
+	return resp, nil
+}
+
+// Solve submits instances and returns the buffered response once every
+// instance finished. Per-instance failures land in
+// InstanceResult.Error, not in the returned error.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveStream submits instances and streams results back as they
+// complete (NDJSON). fn is called once per instance in completion
+// order; a non-nil return aborts the stream and is returned. The final
+// fleet aggregate is returned after the last result.
+func (c *Client) SolveStream(ctx context.Context, req SolveRequest, fn func(InstanceResult) error) (*Fleet, error) {
+	resp, err := c.send(ctx, http.MethodPost, "/v1/solve?stream=ndjson", req, "application/x-ndjson")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// A json.Decoder consumes the newline-delimited envelopes as a JSON
+	// stream, so one huge result (a matching over millions of customers)
+	// has no line-length ceiling the buffered path would not have.
+	dec := json.NewDecoder(resp.Body)
+	var fleet *Fleet
+	for {
+		var env StreamEnvelope
+		if err := dec.Decode(&env); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("ccad: bad stream envelope: %w", err)
+		}
+		switch {
+		case env.Result != nil:
+			if err := fn(*env.Result); err != nil {
+				return nil, err
+			}
+		case env.Fleet != nil:
+			fleet = env.Fleet
+		}
+	}
+	if fleet == nil {
+		return nil, fmt.Errorf("ccad: stream ended without a fleet line")
+	}
+	return fleet, nil
+}
+
+// NewSession creates an online assignment session over the given
+// providers and returns its id.
+func (c *Client) NewSession(ctx context.Context, req SessionRequest) (*SessionInfo, error) {
+	var out SessionInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Arrive adds one customer to a session, incrementally restoring the
+// optimal matching (one augmenting path or swap, not a re-solve).
+func (c *Client) Arrive(ctx context.Context, sessionID string, req ArriveRequest) (*ArriveResponse, error) {
+	var out ArriveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/arrive", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Matching returns a session's current optimal matching.
+func (c *Client) Matching(ctx context.Context, sessionID string) (*MatchingResponse, error) {
+	var out MatchingResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID+"/matching", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSession ends a session and frees its server-side matcher.
+func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+}
+
+// Datasets lists the server's named datasets.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Metrics returns the raw Prometheus text exposition of GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/metrics", nil, "")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Healthz checks the server's health endpoint; it returns nil when the
+// server is up and accepting work, and an *APIError (503) while
+// draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -41,8 +41,24 @@ independent figure points through the shared scheduler concurrently
 (0 = the shard layer's automatic count); pick solvers with -algos,
 e.g. -algos ida,sharded:ida -shards 8`)
 	jsonOut := flag.String("json", "", `write the run's rows as a JSON trajectory to this file
-(e.g. BENCH_shard.json for -fig shard)`)
+(e.g. BENCH_shard.json for -fig shard); with -serve, append one row
+per run to it (e.g. BENCH_serve.json)`)
+	serve := flag.Bool("serve", false, `serving load mode: boot an in-process ccad server and drive it
+with concurrent HTTP clients mixing batch solves and session
+arrivals; reports latency percentiles and throughput instead of
+figure tables (-fig is ignored)`)
+	clients := flag.Int("clients", 8, "-serve: concurrent load clients")
+	requests := flag.Int("requests", 48, "-serve: total solve requests across all clients")
+	inflight := flag.Int("inflight", 4, "-serve: server admission bound (MaxInFlight); load beyond it is shed with 429 and retried")
 	flag.Parse()
+
+	if *serve {
+		if err := runServe(*scale, *clients, *requests, *inflight, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ccabench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := expr.SetMetric(*metric); err != nil {
 		fmt.Fprintf(os.Stderr, "ccabench: %v\n", err)

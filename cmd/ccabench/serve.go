@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cca "repro"
+	"repro/client"
+	"repro/internal/datagen"
+	"repro/internal/expr"
+	"repro/internal/server"
+)
+
+// serveRow is one -serve run's measurement — a row of the
+// BENCH_serve.json trajectory, append-only so serving latency and
+// throughput stay cross-commit diffable like BENCH_shard.json.
+type serveRow struct {
+	Unix      int64   `json:"unix"`
+	Scale     float64 `json:"scale"`
+	Workers   int     `json:"workers"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Customers int     `json:"customers_per_request"`
+	InFlight  int     `json:"max_inflight"`
+	OK        int     `json:"ok"`
+	Errors    int     `json:"errors"`
+	Retries   int     `json:"rejected_429_retries"`
+	Arrivals  int     `json:"session_arrivals"`
+	WallMS    float64 `json:"wall_ms"`
+	RPS       float64 `json:"rps"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// runServe is the ccabench -serve load mode: boot an in-process ccad
+// server (real listener, real HTTP), fire -clients concurrent clients
+// mixing batch solves and session arrivals at it, and report the
+// latency/throughput trajectory. 429 backpressure responses are retried
+// (and counted) — the load mode deliberately runs hotter than the
+// admission bound to exercise shedding.
+func runServe(scale float64, clients, requests, inflight int, jsonPath string) error {
+	nCustomers := int(4000 * scale)
+	if nCustomers < 100 {
+		nCustomers = 100
+	}
+	net32 := datagen.NewNetwork(32, expr.Space, 2008)
+	pts := net32.Points(datagen.Config{N: nCustomers, Dist: datagen.Clustered, Seed: 1})
+	wireCust := make([]client.Customer, len(pts))
+	for i, p := range pts {
+		wireCust[i] = client.Customer{ID: int64(i), X: p.X, Y: p.Y}
+	}
+
+	engine := &cca.Engine{}
+	srv := server.New(server.Config{Engine: engine, MaxInFlight: inflight})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain()
+		hs.Shutdown(ctx)
+		engine.Close()
+	}()
+
+	c := client.New("http://"+ln.Addr().String(), &http.Client{Timeout: 2 * time.Minute})
+	ctx := context.Background()
+
+	// Distinct provider sets per request (seeded by request index) keep
+	// the load real work instead of result-cache replays; the per-client
+	// session adds arrival traffic between solves.
+	makeInstance := func(reqIdx int) client.Instance {
+		qpts := net32.Points(datagen.Config{N: 8, Dist: datagen.Uniform, Seed: int64(100 + reqIdx)})
+		providers := make([]client.Provider, len(qpts))
+		for i, p := range qpts {
+			providers[i] = client.Provider{X: p.X, Y: p.Y, Cap: 1 + nCustomers/(10*len(qpts))}
+		}
+		lane := "interactive"
+		if reqIdx%2 == 1 {
+			lane = "batch"
+		}
+		return client.Instance{
+			Label:     fmt.Sprintf("load-%d", reqIdx),
+			Solver:    "ida",
+			Providers: providers,
+			Customers: wireCust,
+			Lane:      lane,
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		okCount   int
+		errCount  int
+		retries   atomic.Int64
+		arrivals  atomic.Int64
+		nextReq   atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			sess, err := c.NewSession(ctx, client.SessionRequest{Providers: []client.Provider{
+				{X: float64(50 + cl*97%900), Y: 500, Cap: requests/clients + 1},
+			}})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ccabench: client %d: session: %v\n", cl, err)
+			}
+			for {
+				idx := int(nextReq.Add(1)) - 1
+				if idx >= requests {
+					return
+				}
+				req := client.SolveRequest{Instances: []client.Instance{makeInstance(idx)}}
+				t0 := time.Now()
+				var resp *client.SolveResponse
+				for {
+					resp, err = c.Solve(ctx, req)
+					if client.IsBackpressure(err) {
+						retries.Add(1)
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					break
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || resp.Results[0].Error != "" {
+					errCount++
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "ccabench: request %d: %v\n", idx, err)
+					} else {
+						fmt.Fprintf(os.Stderr, "ccabench: request %d: %s\n", idx, resp.Results[0].Error)
+					}
+				} else {
+					okCount++
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+				if sess != nil {
+					if _, err := c.Arrive(ctx, sess.ID, client.ArriveRequest{
+						ID: int64(idx), X: pts[idx%len(pts)].X, Y: pts[idx%len(pts)].Y,
+					}); err == nil {
+						arrivals.Add(1)
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	row := serveRow{
+		Unix:      time.Now().Unix(),
+		Scale:     scale,
+		Workers:   runtime.GOMAXPROCS(0),
+		Clients:   clients,
+		Requests:  requests,
+		Customers: nCustomers,
+		InFlight:  inflight,
+		OK:        okCount,
+		Errors:    errCount,
+		Retries:   int(retries.Load()),
+		Arrivals:  int(arrivals.Load()),
+		WallMS:    float64(wall) / float64(time.Millisecond),
+		RPS:       float64(okCount) / wall.Seconds(),
+		P50MS:     pct(0.50),
+		P90MS:     pct(0.90),
+		P99MS:     pct(0.99),
+		MaxMS:     pct(1.0),
+	}
+
+	fmt.Printf("serve load: %d clients × %d requests (%d customers each), admission %d\n",
+		clients, requests, nCustomers, inflight)
+	fmt.Printf("  ok %d, errors %d, 429 retries %d, session arrivals %d\n",
+		row.OK, row.Errors, row.Retries, row.Arrivals)
+	fmt.Printf("  wall %v, throughput %.1f req/s\n", wall.Round(time.Millisecond), row.RPS)
+	fmt.Printf("  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+		row.P50MS, row.P90MS, row.P99MS, row.MaxMS)
+
+	scrape, err := c.Metrics(ctx)
+	if err == nil {
+		fmt.Printf("  /metrics scrape: %d bytes\n", len(scrape))
+	}
+
+	if jsonPath != "" {
+		if err := appendServeRow(jsonPath, row); err != nil {
+			return err
+		}
+		fmt.Printf("  row appended to %s\n", jsonPath)
+	}
+	if errCount > 0 {
+		return fmt.Errorf("%d requests failed", errCount)
+	}
+	return nil
+}
+
+// appendServeRow appends one run to the trajectory file (a JSON array).
+func appendServeRow(path string, row serveRow) error {
+	var rows []serveRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return fmt.Errorf("%s: existing trajectory unreadable: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	rows = append(rows, row)
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,93 @@
+// Command ccad is the CCA assignment daemon: a long-lived HTTP/JSON
+// service over one shared solving engine (cca.Engine). It exposes batch
+// solving (POST /v1/solve, buffered or streamed), online sessions with
+// incremental per-customer arrivals (POST /v1/sessions + /arrive), named
+// datasets, Prometheus telemetry (GET /metrics), and graceful drain on
+// SIGTERM.
+//
+//	ccad -addr :8080 -workers 8 -data ./datasets
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/solve -d '{"instances":[...]}'
+//
+// See the README's "Serving" section for the full walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cca "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "result-cache capacity in entries (0 = default 256, negative disables)")
+		solver   = flag.String("solver", "", `default solver for instances that name none ("" = ida)`)
+		inflight = flag.Int("max-inflight", server.DefaultMaxInFlight, "admission bound on concurrent solve requests; excess load is shed with 429")
+		sessions = flag.Int("max-sessions", server.DefaultMaxSessions, "bound on live online sessions")
+		maxInst  = flag.Int("max-instances", server.DefaultMaxInstances, "bound on instances per solve request")
+		maxArr   = flag.Int("max-arrivals", server.DefaultMaxArrivals, "bound on arrivals per session")
+		timeout  = flag.Duration("timeout", 0, "default per-instance solve timeout (0 = none; requests may set timeout_ms per instance)")
+		dataDir  = flag.String("data", "", "named-dataset directory (<name>.csv customer files, id,x,y rows)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	engine := &cca.Engine{Workers: *workers, DefaultSolver: *solver, CacheSize: *cache}
+	srv := server.New(server.Config{
+		Engine:         engine,
+		MaxInFlight:    *inflight,
+		MaxSessions:    *sessions,
+		MaxInstances:   *maxInst,
+		MaxArrivals:    *maxArr,
+		DefaultTimeout: *timeout,
+		DataDir:        *dataDir,
+	})
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Solves stream for as long as they run; only bound the
+		// header-read phase.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ccad: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ccad: %v: draining (max %v)\n", sig, *drain)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "ccad:", err)
+		os.Exit(1)
+	}
+
+	// Graceful drain: stop admitting work, let in-flight requests finish,
+	// then release the engine's workers.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ccad: shutdown:", err)
+		httpSrv.Close()
+	}
+	engine.Close()
+	fmt.Fprintln(os.Stderr, "ccad: drained, bye")
+}

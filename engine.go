@@ -48,6 +48,12 @@ type Instance struct {
 	// Lane selects the scheduling priority (default LaneInteractive).
 	// Lanes change only when an instance runs, never its result.
 	Lane Lane
+	// NoCache excludes this instance from the engine's cross-instance
+	// result cache (no lookup, no insertion). Set it when the instance
+	// can never repeat — e.g. a server solving a per-request dataset
+	// whose identity is unique — so one-shot solves do not evict
+	// reusable entries.
+	NoCache bool
 }
 
 // InstanceResult is one instance's outcome.

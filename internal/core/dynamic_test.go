@@ -117,3 +117,156 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// pairFor returns the provider index customer id is currently matched
+// to, or -1.
+func pairFor(m *DynamicMatcher, id int64) int {
+	for _, p := range m.Matching().Pairs {
+		if p.CustomerID == id {
+			return p.Provider
+		}
+	}
+	return -1
+}
+
+// Arrivals after capacity exhaustion: the swap path must evict a more
+// expensive earlier customer for a strictly closer newcomer, keep the
+// size pinned at Γ, and leave the matching the batch optimum; a worse
+// newcomer must change nothing. This is the path the server's session
+// /arrive endpoint rides once a session's providers fill up.
+func TestDynamicArrivalsAfterExhaustion(t *testing.T) {
+	providers := []Provider{{Pt: geo.Point{X: 0, Y: 0}, Cap: 2}}
+	m := NewDynamicMatcher(providers)
+
+	for i, x := range []float64{50, 40} {
+		matched, err := m.Arrive(geo.Point{X: x, Y: 0}, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matched {
+			t.Fatalf("arrival %d should match: capacity remains", i)
+		}
+	}
+	if m.Size() != 2 || m.Cost() != 90 {
+		t.Fatalf("pre-exhaustion state: size %d cost %v, want 2 / 90", m.Size(), m.Cost())
+	}
+
+	// Capacity exhausted. A closer customer evicts the most expensive one.
+	matched, err := m.Arrive(geo.Point{X: 10, Y: 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matched {
+		t.Fatal("closer arrival after exhaustion should swap in")
+	}
+	if m.Size() != 2 {
+		t.Fatalf("size grew past capacity: %d", m.Size())
+	}
+	if m.Cost() != 50 {
+		t.Fatalf("cost after swap = %v, want 40+10 = 50", m.Cost())
+	}
+	if q := pairFor(m, 0); q != -1 {
+		t.Fatalf("customer 0 (dist 50) should be evicted, still on provider %d", q)
+	}
+	if pairFor(m, 1) != 0 || pairFor(m, 2) != 0 {
+		t.Fatal("customers 1 and 2 should hold the two slots")
+	}
+
+	// A farther customer must be rejected and change nothing.
+	matched, err = m.Arrive(geo.Point{X: 60, Y: 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched {
+		t.Fatal("farther arrival must not displace anyone")
+	}
+	if m.Size() != 2 || m.Cost() != 50 {
+		t.Fatalf("rejected arrival mutated the matching: size %d cost %v", m.Size(), m.Cost())
+	}
+
+	// The snapshot equals the batch optimum over everything that arrived.
+	all := []flowgraph.Customer{
+		{Pt: geo.Point{X: 50, Y: 0}, Cap: 1, ExtID: 0},
+		{Pt: geo.Point{X: 40, Y: 0}, Cap: 1, ExtID: 1},
+		{Pt: geo.Point{X: 10, Y: 0}, Cap: 1, ExtID: 2},
+		{Pt: geo.Point{X: 60, Y: 0}, Cap: 1, ExtID: 3},
+	}
+	_, wantCost := flowgraph.RefSolve(flowProviders(providers), all)
+	if math.Abs(m.Cost()-wantCost) > 1e-9 {
+		t.Fatalf("cost %v differs from batch optimum %v", m.Cost(), wantCost)
+	}
+}
+
+// A later arrival can displace an earlier customer onto a different
+// provider (re-route along the augmenting path) without evicting it:
+// c0 initially takes the near provider A, then c1 arrives even nearer
+// to A, and the optimum re-routes c0 to the far provider B.
+func TestDynamicLaterArrivalReRoutes(t *testing.T) {
+	providers := []Provider{
+		{Pt: geo.Point{X: 0, Y: 0}, Cap: 1},  // A
+		{Pt: geo.Point{X: 10, Y: 0}, Cap: 1}, // B
+	}
+	m := NewDynamicMatcher(providers)
+
+	if matched, err := m.Arrive(geo.Point{X: 4, Y: 0}, 0); err != nil || !matched {
+		t.Fatalf("c0: matched=%v err=%v", matched, err)
+	}
+	if pairFor(m, 0) != 0 {
+		t.Fatalf("c0 should start on provider A, got %d", pairFor(m, 0))
+	}
+
+	// c1 at x=1: optimum is c1→A (1) + c0→B (6) = 7, beating c1→B (9) +
+	// c0→A (4) = 13 — so c0 must be re-routed from A to B.
+	if matched, err := m.Arrive(geo.Point{X: 1, Y: 0}, 1); err != nil || !matched {
+		t.Fatalf("c1: matched=%v err=%v", matched, err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("size = %d, want 2", m.Size())
+	}
+	if pairFor(m, 1) != 0 {
+		t.Fatalf("c1 should take provider A, got %d", pairFor(m, 1))
+	}
+	if pairFor(m, 0) != 1 {
+		t.Fatalf("c0 should be re-routed to provider B, got %d", pairFor(m, 0))
+	}
+	if math.Abs(m.Cost()-7) > 1e-9 {
+		t.Fatalf("cost = %v, want 7", m.Cost())
+	}
+}
+
+// Eviction + re-route combined, pinned against the batch oracle after
+// every arrival: a capacity-1 chain where each newcomer cascades the
+// previous assignments. Catches any optimality drift in the swap path
+// (SwapArrival) that single-step tests cannot see.
+func TestDynamicEvictionCascadeMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	providers := randDynProviders(3, 1, rng) // Γ = 3: exhausted quickly
+	m := NewDynamicMatcher(providers)
+	var arrived []flowgraph.Customer
+	evictions := 0
+	for i := 0; i < 24; i++ {
+		pt := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		arrived = append(arrived, flowgraph.Customer{Pt: pt, Cap: 1, ExtID: int64(i)})
+		before := map[int64]bool{}
+		for _, p := range m.Matching().Pairs {
+			before[p.CustomerID] = true
+		}
+		if _, err := m.Arrive(pt, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Matching().Pairs {
+			delete(before, p.CustomerID)
+		}
+		evictions += len(before) // earlier customers displaced out entirely
+		if i >= 2 && m.Size() != 3 {
+			t.Fatalf("arrival %d: size %d, want Γ=3", i, m.Size())
+		}
+		_, wantCost := flowgraph.RefSolve(flowProviders(providers), arrived)
+		if math.Abs(m.Cost()-wantCost) > 1e-6*(1+wantCost) {
+			t.Fatalf("after arrival %d: cost %v, want batch optimum %v", i, m.Cost(), wantCost)
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("24 arrivals into Γ=3 never displaced anyone — swap path untested")
+	}
+}

@@ -26,7 +26,11 @@
 // (internal/lru), so cca.Engine workers can share one metric instance
 // (and its warm caches) across a whole batch — and a long-lived server
 // process holds a fixed-size working set instead of growing the caches
-// without bound. Cache capacities default to DefaultSnapCacheSize and
+// without bound. Both caches are sharded by key hash (lru.Sharded), so
+// warm hits from many workers take independent shard mutexes instead of
+// convoying behind one cache-wide lock (BenchmarkNetworkMetricParallel
+// here and BenchmarkWarmHitParallel* in internal/lru measure the win).
+// Cache capacities default to DefaultSnapCacheSize and
 // DefaultNodeCacheSize; tune them with SetCacheCapacity before first
 // use, and read eviction pressure from Stats.
 package netmetric
@@ -68,6 +72,12 @@ const (
 	DefaultNodeCacheSize = 1 << 19 // ≈524K node-pair distances
 )
 
+// cacheShards is the lock-shard count of the snap and node-pair caches.
+// 32 keeps shard-mutex collisions rare for the worker counts an engine
+// realistically runs (GOMAXPROCS on big servers) while leaving thousands
+// of entries per shard even at small SetCacheCapacity values.
+const cacheShards = 32
+
 // CacheStats reports the metric's cache activity. The node-pair numbers
 // are the interesting ones: a hit avoids a bidirectional Dijkstra, and
 // sustained evictions mean the working set outgrew the cache — size it
@@ -105,8 +115,8 @@ type NetworkMetric struct {
 
 	grid snapGrid
 
-	nodeCache *lru.Cache[[2]int32, float64]
-	snapCache *lru.Cache[geo.Point, snapPos]
+	nodeCache *lru.Sharded[[2]int32, float64]
+	snapCache *lru.Sharded[geo.Point, snapPos]
 }
 
 // New builds a NetworkMetric from nodes and undirected edges. Edge
@@ -122,8 +132,8 @@ func New(nodes []geo.Point, edges [][2]int32) (*NetworkMetric, error) {
 	m := &NetworkMetric{
 		nodes:     append([]geo.Point(nil), nodes...),
 		realEdges: len(edges),
-		nodeCache: lru.New[[2]int32, float64](DefaultNodeCacheSize),
-		snapCache: lru.New[geo.Point, snapPos](DefaultSnapCacheSize),
+		nodeCache: lru.NewSharded[[2]int32, float64](DefaultNodeCacheSize, cacheShards),
+		snapCache: lru.NewSharded[geo.Point, snapPos](DefaultSnapCacheSize, cacheShards),
 	}
 	m.edges = make([][2]int32, len(edges), len(edges)+8)
 	copy(m.edges, edges)
@@ -171,8 +181,8 @@ func (m *NetworkMetric) SetCacheCapacity(snapEntries, nodeEntries int) {
 	if nodeEntries < 1 {
 		nodeEntries = DefaultNodeCacheSize
 	}
-	m.snapCache = lru.New[geo.Point, snapPos](snapEntries)
-	m.nodeCache = lru.New[[2]int32, float64](nodeEntries)
+	m.snapCache = lru.NewSharded[geo.Point, snapPos](snapEntries, cacheShards)
+	m.nodeCache = lru.NewSharded[[2]int32, float64](nodeEntries, cacheShards)
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -201,30 +201,38 @@ func TestCacheStats(t *testing.T) {
 
 // TestCacheEviction: with deliberately tiny caches the metric keeps
 // answering correctly — recomputing displaced entries — and the stats
-// expose the eviction pressure a long-lived server would tune on.
+// expose the eviction pressure a long-lived server would tune on. The
+// caches are sharded, so a tiny capacity rounds up to one entry per
+// shard; sweeping more distinct keys than shards makes eviction a
+// pigeonhole certainty, not a hash accident.
 func TestCacheEviction(t *testing.T) {
 	net := datagen.NewNetwork(8, space, 3)
 	m := FromNetwork(net)
 	m.SetCacheCapacity(4, 4)
+	keys := m.snapCache.Cap() + 1 // > total bound ⇒ some shard overflows
 
-	pts := make([]geo.Point, 16)
+	pts := make([]geo.Point, keys)
 	for i := range pts {
-		pts[i] = geo.Point{X: float64(40 + 60*i), Y: float64(900 - 50*i)}
+		pts[i] = geo.Point{X: float64(7 + 90*i%987), Y: float64((911*i + 13) % 997)}
 	}
 	want := make([]float64, len(pts))
 	for i, p := range pts {
 		want[i] = m.Dist(p, pts[0])
 	}
-	// A second sweep over a working set 4x the cache bound must evict on
-	// both caches, yet every distance stays identical.
+	// A second sweep over a working set exceeding the cache bound must
+	// evict on the snap cache, yet every distance stays identical.
 	for i, p := range pts {
 		if got := m.Dist(p, pts[0]); got != want[i] {
 			t.Fatalf("Dist(%v) changed after eviction: %g vs %g", p, got, want[i])
 		}
 	}
+	// Node-pair keys: more distinct pairs than the node cache holds.
+	for b := int32(1); int(b) < m.NumNodes() && int(b) <= m.nodeCache.Cap()+1; b++ {
+		m.NodeDist(0, b)
+	}
 	st := m.Stats()
 	if st.SnapEvictions == 0 || st.NodeEvictions == 0 {
-		t.Fatalf("expected evictions on 4-entry caches, got %+v", st)
+		t.Fatalf("expected evictions on tiny caches, got %+v", st)
 	}
 
 	// Resetting to defaults clears the counters and the pressure.

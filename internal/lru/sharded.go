@@ -1,0 +1,102 @@
+package lru
+
+import "hash/maphash"
+
+// DefaultShards is the shard count NewSharded uses for counts < 1: high
+// enough that GOMAXPROCS-many workers hammering one warm cache rarely
+// collide on a shard mutex, low enough that per-shard capacity stays
+// meaningful for small caches.
+const DefaultShards = 16
+
+// Sharded is a bounded LRU split into independently locked shards by key
+// hash. Semantically it is a Cache whose recency order is approximate
+// across shards (each shard evicts its own LRU entry), which is exactly
+// the tradeoff wanted under contention: a hit takes one *shard* mutex
+// instead of serializing every reader behind a single cache-wide lock.
+// The road-network metric's snap and node-pair caches use it so many
+// engine workers sharing one warm metric scale instead of convoying.
+//
+// All methods are safe for concurrent use. The zero value is not usable;
+// build one with NewSharded.
+type Sharded[K comparable, V any] struct {
+	seed   maphash.Seed
+	shards []*Cache[K, V]
+	mask   uint64
+}
+
+// NewSharded returns a sharded cache bounded to (at least) capacity
+// entries in total, split over shards independently locked LRUs. The
+// shard count is rounded up to a power of two (counts < 1 select
+// DefaultShards); capacity is divided evenly with each shard holding at
+// least one entry, so the total bound is capacity rounded up to a
+// multiple of the shard count.
+func NewSharded[K comparable, V any](capacity, shards int) *Sharded[K, V] {
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	s := &Sharded[K, V]{
+		seed:   maphash.MakeSeed(),
+		shards: make([]*Cache[K, V], n),
+		mask:   uint64(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i] = New[K, V](per)
+	}
+	return s
+}
+
+// shard returns the cache responsible for key.
+func (s *Sharded[K, V]) shard(key K) *Cache[K, V] {
+	return s.shards[maphash.Comparable(s.seed, key)&s.mask]
+}
+
+// Get returns the cached value for key, marking it most recently used
+// within its shard.
+func (s *Sharded[K, V]) Get(key K) (V, bool) { return s.shard(key).Get(key) }
+
+// Put inserts or refreshes key's value, evicting its shard's least
+// recently used entry when that shard is full.
+func (s *Sharded[K, V]) Put(key K, value V) { s.shard(key).Put(key, value) }
+
+// Len returns the total number of cached entries across shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.Len()
+	}
+	return n
+}
+
+// Cap returns the total capacity across shards.
+func (s *Sharded[K, V]) Cap() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.Cap()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (s *Sharded[K, V]) Shards() int { return len(s.shards) }
+
+// Stats returns the summed activity counters of every shard. The sum is
+// not a single atomic snapshot — shards are read one at a time — but
+// each counter is monotone, so the result is a consistent lower bound.
+func (s *Sharded[K, V]) Stats() Stats {
+	var out Stats
+	for _, c := range s.shards {
+		st := c.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+	}
+	return out
+}

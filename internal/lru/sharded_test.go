@@ -1,0 +1,135 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded[int, string](64, 4)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", s.Shards())
+	}
+	if s.Cap() < 64 {
+		t.Fatalf("cap = %d, want >= 64", s.Cap())
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	s.Put(1, "a")
+	s.Put(2, "b")
+	if v, ok := s.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	s.Put(1, "a2") // refresh
+	if v, _ := s.Get(1); v != "a2" {
+		t.Fatalf("refresh lost: %q", v)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+// Shard counts round up to a power of two and every shard holds at
+// least one entry, so the total bound is never below the request.
+func TestShardedRounding(t *testing.T) {
+	s := NewSharded[int, int](5, 3)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4 (3 rounded up)", s.Shards())
+	}
+	if s.Cap() < 5 {
+		t.Fatalf("cap = %d, want >= 5", s.Cap())
+	}
+	tiny := NewSharded[int, int](1, 0)
+	if tiny.Shards() != DefaultShards {
+		t.Fatalf("default shards = %d, want %d", tiny.Shards(), DefaultShards)
+	}
+	if tiny.Cap() < 1 {
+		t.Fatal("zero-capacity shard")
+	}
+}
+
+// The total entry count stays bounded under sustained inserts: each
+// shard evicts its own LRU tail.
+func TestShardedEviction(t *testing.T) {
+	s := NewSharded[int, int](32, 8)
+	for i := 0; i < 10_000; i++ {
+		s.Put(i, i)
+	}
+	if s.Len() > s.Cap() {
+		t.Fatalf("len %d exceeds cap %d", s.Len(), s.Cap())
+	}
+	if ev := s.Stats().Evictions; ev == 0 {
+		t.Fatal("no evictions recorded after 10k inserts into a 32-entry cache")
+	}
+}
+
+// Concurrent mixed Get/Put from many goroutines must be race-free and
+// never lose the bound (run under -race in CI).
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[int, int](128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*31 + i) % 500
+				if v, ok := s.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+				s.Put(k, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > s.Cap() {
+		t.Fatalf("len %d exceeds cap %d", s.Len(), s.Cap())
+	}
+}
+
+// The ROADMAP-noted contention tradeoff: warm hits on the single-lock
+// Cache serialize every reader behind one mutex, while the sharded
+// variant spreads them over independently locked shards. Compare:
+//
+//	go test ./internal/lru -run '^$' -bench WarmHitParallel -cpu 8
+type warmCache interface {
+	Get(int) (int, bool)
+	Put(int, int)
+}
+
+func benchWarmHits(b *testing.B, c warmCache) {
+	const keys = 1024
+	for i := 0; i < keys; i++ {
+		c.Put(i, i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := i & (keys - 1)
+			if _, ok := c.Get(k); !ok {
+				b.Fatal("warm miss")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkWarmHitParallelSingle(b *testing.B) {
+	benchWarmHits(b, New[int, int](2048))
+}
+
+func BenchmarkWarmHitParallelSharded(b *testing.B) {
+	for _, shards := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchWarmHits(b, NewSharded[int, int](2048, shards))
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	cca "repro"
+	"repro/client"
+	"repro/internal/dataio"
+)
+
+// datasetStore serves named customer datasets from a directory of
+// <name>.csv files (dataio's id,x,y format). Each dataset is read and
+// R-tree-indexed once, on first use, then shared across requests — the
+// engine clones a cold buffer handle per solve, so sharing is safe, and
+// because every request resolves to the same *cca.Customers (same
+// dataset identity), repeated solves hit the engine's result cache.
+//
+// Loading runs outside the store lock (per-entry sync.Once), so one
+// cold multi-million-row load never stalls requests for already-loaded
+// datasets, listings, or metrics scrapes.
+type datasetStore struct {
+	dir    string
+	mu     sync.Mutex // guards the map only, never a load
+	loaded map[string]*dsEntry
+}
+
+// dsEntry is one named dataset's lazily computed load result.
+type dsEntry struct {
+	once sync.Once
+	done atomic.Bool // set after once ran; guards c/err for non-waiters
+	c    *cca.Customers
+	err  error
+}
+
+func (d *datasetStore) init(dir string) {
+	d.dir = dir
+	d.loaded = make(map[string]*dsEntry)
+}
+
+// validName guards against path traversal: a dataset name is a bare
+// file stem, no separators, no leading dot.
+func validName(name string) bool {
+	if name == "" || strings.HasPrefix(name, ".") {
+		return false
+	}
+	return !strings.ContainsAny(name, `/\`)
+}
+
+// get returns the named dataset, loading and indexing it on first use.
+// Concurrent callers of the same cold name share one load; a failed
+// load is forgotten so the name can be retried (e.g. after the file
+// appears).
+func (d *datasetStore) get(name string) (*cca.Customers, error) {
+	if d.dir == "" {
+		return nil, fmt.Errorf("no dataset directory configured (ccad -data)")
+	}
+	if !validName(name) {
+		return nil, fmt.Errorf("invalid dataset name %q", name)
+	}
+	d.mu.Lock()
+	e, ok := d.loaded[name]
+	if !ok {
+		e = &dsEntry{}
+		d.loaded[name] = e
+	}
+	d.mu.Unlock()
+
+	e.once.Do(func() {
+		defer e.done.Store(true)
+		items, err := dataio.ReadCustomersFile(filepath.Join(d.dir, name+".csv"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				e.err = fmt.Errorf("unknown dataset %q", name)
+			} else {
+				e.err = fmt.Errorf("dataset %q: %w", name, err)
+			}
+			return
+		}
+		c, err := cca.IndexItems(items, cca.IndexConfig{})
+		if err != nil {
+			e.err = fmt.Errorf("dataset %q: index: %w", name, err)
+			return
+		}
+		e.c = c
+	})
+	if e.err != nil {
+		d.mu.Lock()
+		if d.loaded[name] == e {
+			delete(d.loaded, name)
+		}
+		d.mu.Unlock()
+		return nil, e.err
+	}
+	return e.c, nil
+}
+
+// list scans the directory for datasets; loaded ones report their
+// indexed size, unloaded ones -1.
+func (d *datasetStore) list() ([]client.DatasetInfo, error) {
+	out := []client.DatasetInfo{}
+	if d.dir == "" {
+		return out, nil
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset directory: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		if !validName(name) {
+			continue
+		}
+		info := client.DatasetInfo{Name: name, Customers: -1}
+		if e, ok := d.loaded[name]; ok && e.done.Load() && e.err == nil {
+			info.Customers = e.c.Len()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// loadedCount returns how many datasets are currently indexed.
+func (d *datasetStore) loadedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, e := range d.loaded {
+		if e.done.Load() && e.err == nil {
+			n++
+		}
+	}
+	return n
+}

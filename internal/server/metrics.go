@@ -1,0 +1,271 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/client"
+	"repro/internal/geo/netmetric"
+)
+
+// counters is the server's own telemetry: per-endpoint request counts,
+// admission sheds, and fleet-level solve aggregates across every
+// request served. The engine and metric caches keep their own lifetime
+// counters; /metrics stitches all of them into one exposition.
+type counters struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // handler → status code → count
+	rejected uint64                    // solve requests shed by admission control
+
+	instances uint64 // instances received by /v1/solve
+	solved    uint64 // instances that produced a matching
+	errored   uint64 // instances that failed (incl. timeouts)
+	pairs     uint64 // Σ matching sizes
+	cacheHits uint64 // results served from the engine result cache
+	cost      float64
+	solveWall time.Duration // Σ per-instance wall time
+	queueWait time.Duration // Σ time instances waited for a worker
+
+	sessionsCreated uint64
+	arrivals        uint64
+	arrivalsMatched uint64
+}
+
+func (c *counters) init() {
+	c.requests = make(map[string]map[int]uint64)
+}
+
+func (c *counters) recordRequest(handler string, code int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byCode := c.requests[handler]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		c.requests[handler] = byCode
+	}
+	byCode[code]++
+}
+
+func (c *counters) recordRejected() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordSolve(fleet client.Fleet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.instances += uint64(fleet.Instances)
+	c.solved += uint64(fleet.Solved)
+	c.errored += uint64(fleet.Errors)
+	c.pairs += uint64(fleet.Pairs)
+	c.cacheHits += uint64(fleet.CacheHits)
+	c.cost += fleet.Cost
+	c.solveWall += time.Duration(fleet.SolveWallNS)
+	c.queueWait += time.Duration(fleet.QueueWaitNS)
+}
+
+func (c *counters) recordSession() {
+	c.mu.Lock()
+	c.sessionsCreated++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordArrival(matched bool) {
+	c.mu.Lock()
+	c.arrivals++
+	if matched {
+		c.arrivalsMatched++
+	}
+	c.mu.Unlock()
+}
+
+// promWriter accumulates one Prometheus text exposition.
+type promWriter struct {
+	w http.ResponseWriter
+}
+
+func (p promWriter) header(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p promWriter) val(name string, v float64) {
+	fmt.Fprintf(p.w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (p promWriter) labeled(name, labels string, v float64) {
+	fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// handleMetrics serves GET /metrics: one scrape stitches together the
+// HTTP layer (requests, admission), the engine (pool telemetry, result
+// cache), the solve-level fleet aggregates, the session layer, and
+// every road-network metric's snap/node-pair cache counters. All
+// counters are process-lifetime; see README "Serving" for field
+// meanings.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := promWriter{w: w}
+
+	p.header("ccad_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.val("ccad_uptime_seconds", time.Since(s.start).Seconds())
+	p.header("ccad_draining", "1 once graceful drain began, else 0.", "gauge")
+	p.val("ccad_draining", boolGauge(s.draining.Load()))
+
+	// HTTP layer. Snapshot everything under the lock, write after — the
+	// counters mutex is on every request's hot path and must never wait
+	// on a slow scraper's socket.
+	s.stats.mu.Lock()
+	requests := make(map[string]map[int]uint64, len(s.stats.requests))
+	for h, byCode := range s.stats.requests {
+		cp := make(map[int]uint64, len(byCode))
+		for code, n := range byCode {
+			cp[code] = n
+		}
+		requests[h] = cp
+	}
+	rejected := s.stats.rejected
+	instances, solved, errored := s.stats.instances, s.stats.solved, s.stats.errored
+	pairs, cacheHits, cost := s.stats.pairs, s.stats.cacheHits, s.stats.cost
+	solveWall, queueWait := s.stats.solveWall, s.stats.queueWait
+	sessionsCreated, arrivals, arrivalsMatched := s.stats.sessionsCreated, s.stats.arrivals, s.stats.arrivalsMatched
+	s.stats.mu.Unlock()
+
+	handlers := make([]string, 0, len(requests))
+	for h := range requests {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+	p.header("ccad_http_requests_total", "HTTP requests served, by handler and status code.", "counter")
+	for _, h := range handlers {
+		codes := make([]int, 0, len(requests[h]))
+		for code := range requests[h] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			p.labeled("ccad_http_requests_total",
+				fmt.Sprintf("handler=%q,code=%q", h, strconv.Itoa(code)),
+				float64(requests[h][code]))
+		}
+	}
+
+	p.header("ccad_http_inflight_solves", "Solve requests currently admitted.", "gauge")
+	p.val("ccad_http_inflight_solves", float64(len(s.sem)))
+	p.header("ccad_http_admission_limit", "Admission bound on concurrent solve requests (MaxInFlight).", "gauge")
+	p.val("ccad_http_admission_limit", float64(cap(s.sem)))
+	p.header("ccad_http_rejected_total", "Solve requests shed with 429 by admission control.", "counter")
+	p.val("ccad_http_rejected_total", float64(rejected))
+
+	// Engine pool (sched lifetime telemetry).
+	pm := s.engine.PoolMetrics()
+	p.header("ccad_engine_workers", "Engine worker-pool size (0 until the pool first runs).", "gauge")
+	p.val("ccad_engine_workers", float64(pm.Workers))
+	p.header("ccad_engine_tasks_submitted_total", "Instances accepted by the engine scheduler.", "counter")
+	p.val("ccad_engine_tasks_submitted_total", float64(pm.Submitted))
+	p.header("ccad_engine_tasks_completed_total", "Instances that finished running.", "counter")
+	p.val("ccad_engine_tasks_completed_total", float64(pm.Completed))
+	p.header("ccad_engine_queue_depth", "Instances waiting for a worker, all lanes.", "gauge")
+	p.val("ccad_engine_queue_depth", float64(pm.Queued))
+	p.header("ccad_engine_queue_wait_seconds_total", "Total time completed instances waited for a worker.", "counter")
+	p.val("ccad_engine_queue_wait_seconds_total", pm.QueueWait.Seconds())
+	p.header("ccad_engine_queue_wait_max_seconds", "Worst single queue wait observed.", "gauge")
+	p.val("ccad_engine_queue_wait_max_seconds", pm.MaxQueueWait.Seconds())
+	p.header("ccad_engine_worker_tasks_total", "Tasks completed, by worker.", "counter")
+	for i, ws := range pm.PerWorker {
+		p.labeled("ccad_engine_worker_tasks_total", fmt.Sprintf("worker=%q", strconv.Itoa(i)), float64(ws.Tasks))
+	}
+	p.header("ccad_engine_worker_busy_seconds_total", "Time spent running tasks, by worker.", "counter")
+	for i, ws := range pm.PerWorker {
+		p.labeled("ccad_engine_worker_busy_seconds_total", fmt.Sprintf("worker=%q", strconv.Itoa(i)), ws.Busy.Seconds())
+	}
+
+	// Engine result cache.
+	cs := s.engine.CacheStats()
+	p.header("ccad_result_cache_hits_total", "Solves served from the cross-instance result cache.", "counter")
+	p.val("ccad_result_cache_hits_total", float64(cs.Hits))
+	p.header("ccad_result_cache_misses_total", "Result-cache lookups that found nothing.", "counter")
+	p.val("ccad_result_cache_misses_total", float64(cs.Misses))
+	p.header("ccad_result_cache_evictions_total", "Result-cache entries displaced by the LRU bound.", "counter")
+	p.val("ccad_result_cache_evictions_total", float64(cs.Evictions))
+
+	// Fleet aggregates across every solve request served.
+	p.header("ccad_solve_instances_total", "Instances received by /v1/solve.", "counter")
+	p.val("ccad_solve_instances_total", float64(instances))
+	p.header("ccad_solve_solved_total", "Instances that produced a matching.", "counter")
+	p.val("ccad_solve_solved_total", float64(solved))
+	p.header("ccad_solve_errors_total", "Instances that failed (bad input, unknown solver, timeout).", "counter")
+	p.val("ccad_solve_errors_total", float64(errored))
+	p.header("ccad_solve_pairs_total", "Total assignment pairs across all matchings.", "counter")
+	p.val("ccad_solve_pairs_total", float64(pairs))
+	p.header("ccad_solve_cost_total", "Total matching cost sum(Psi(M)) across all solved instances.", "counter")
+	p.val("ccad_solve_cost_total", cost)
+	p.header("ccad_solve_cache_hits_total", "Instances served from the result cache.", "counter")
+	p.val("ccad_solve_cache_hits_total", float64(cacheHits))
+	p.header("ccad_solve_wall_seconds_total", "Total per-instance solve wall time.", "counter")
+	p.val("ccad_solve_wall_seconds_total", solveWall.Seconds())
+	p.header("ccad_solve_queue_wait_seconds_total", "Total time solve instances waited for a worker.", "counter")
+	p.val("ccad_solve_queue_wait_seconds_total", queueWait.Seconds())
+
+	// Sessions.
+	p.header("ccad_sessions_active", "Live online sessions.", "gauge")
+	p.val("ccad_sessions_active", float64(s.sessions.count()))
+	p.header("ccad_sessions_created_total", "Sessions created since start.", "counter")
+	p.val("ccad_sessions_created_total", float64(sessionsCreated))
+	p.header("ccad_sessions_arrivals_total", "Customer arrivals processed across all sessions.", "counter")
+	p.val("ccad_sessions_arrivals_total", float64(arrivals))
+	p.header("ccad_sessions_arrivals_matched_total", "Arrivals that held a slot immediately.", "counter")
+	p.val("ccad_sessions_arrivals_matched_total", float64(arrivalsMatched))
+
+	// Named datasets.
+	p.header("ccad_datasets_loaded", "Named datasets currently indexed in memory.", "gauge")
+	p.val("ccad_datasets_loaded", float64(s.datasets.loadedCount()))
+
+	// Road-network metric caches, one series set per distinct (built)
+	// network; entries still mid-build are skipped, never waited on.
+	type netSample struct {
+		key netKey
+		m   *netmetric.NetworkMetric
+	}
+	s.netMu.Lock()
+	nets := make([]netSample, 0, len(s.netMetrics))
+	for k, e := range s.netMetrics {
+		if e.done.Load() {
+			nets = append(nets, netSample{key: k, m: e.m})
+		}
+	}
+	s.netMu.Unlock()
+	sort.Slice(nets, func(i, j int) bool {
+		if nets[i].key.grid != nets[j].key.grid {
+			return nets[i].key.grid < nets[j].key.grid
+		}
+		return nets[i].key.seed < nets[j].key.seed
+	})
+	p.header("ccad_netmetric_node_cache_hits_total", "Node-pair distances served from a network metric's cache (a hit avoids a bidirectional Dijkstra).", "counter")
+	p.header("ccad_netmetric_node_cache_misses_total", "Node-pair distances computed by Dijkstra.", "counter")
+	p.header("ccad_netmetric_node_cache_evictions_total", "Node-pair entries displaced by the LRU bound.", "counter")
+	p.header("ccad_netmetric_snap_cache_hits_total", "Point snap positions served from cache.", "counter")
+	p.header("ccad_netmetric_snap_cache_misses_total", "Point snap positions computed against the edge grid.", "counter")
+	p.header("ccad_netmetric_snap_cache_evictions_total", "Snap entries displaced by the LRU bound.", "counter")
+	for _, n := range nets {
+		st := n.m.Stats()
+		labels := fmt.Sprintf("network=%q", fmt.Sprintf("grid%d-seed%d", n.key.grid, n.key.seed))
+		p.labeled("ccad_netmetric_node_cache_hits_total", labels, float64(st.NodeHits))
+		p.labeled("ccad_netmetric_node_cache_misses_total", labels, float64(st.NodeMisses))
+		p.labeled("ccad_netmetric_node_cache_evictions_total", labels, float64(st.NodeEvictions))
+		p.labeled("ccad_netmetric_snap_cache_hits_total", labels, float64(st.SnapHits))
+		p.labeled("ccad_netmetric_snap_cache_misses_total", labels, float64(st.SnapMisses))
+		p.labeled("ccad_netmetric_snap_cache_evictions_total", labels, float64(st.SnapEvictions))
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

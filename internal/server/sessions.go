@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	cca "repro"
+	"repro/client"
+)
+
+// Body bounds for the session endpoints: a provider set is small (the
+// paper's |Q| ≈ 1K fits in kilobytes) and an arrival is one point.
+const (
+	maxSessionBody = 8 << 20
+	maxArriveBody  = 1 << 20
+)
+
+// session is one server-held online matching: a DynamicMatcher plus the
+// lock serializing its arrivals (the matcher mutates a shared residual
+// graph, so arrivals within a session are ordered; distinct sessions
+// proceed in parallel).
+type session struct {
+	mu       sync.Mutex
+	m        *cca.DynamicMatcher
+	capacity int
+	arrivals int
+	seen     map[int64]bool
+}
+
+// sessionStore is the bounded id → session map.
+type sessionStore struct {
+	mu       sync.Mutex
+	max      int
+	sessions map[string]*session
+}
+
+func (st *sessionStore) init(max int) {
+	st.max = max
+	st.sessions = make(map[string]*session)
+}
+
+// add stores a new session, enforcing the bound.
+func (st *sessionStore) add(s *session) (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.sessions) >= st.max {
+		return "", fmt.Errorf("session limit reached (%d live sessions)", st.max)
+	}
+	id := newID()
+	st.sessions[id] = s
+	return id, nil
+}
+
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	return s, ok
+}
+
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; !ok {
+		return false
+	}
+	delete(st.sessions, id)
+	return true
+}
+
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// handleSessionCreate serves POST /v1/sessions: it builds a server-held
+// incremental matcher over the request's providers, so each subsequent
+// /arrive costs one augmenting path (or swap) instead of a re-solve.
+// Sessions measure Euclidean distance — the incremental matcher's
+// setting.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req client.SessionRequest
+	if !decodeBody(w, r, maxSessionBody, &req) {
+		return
+	}
+	if len(req.Providers) == 0 {
+		writeError(w, http.StatusBadRequest, "no providers")
+		return
+	}
+	providers := make([]cca.Provider, len(req.Providers))
+	capacity := 0
+	for i, q := range req.Providers {
+		if q.Cap <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("provider %d: capacity must be positive, got %d", i, q.Cap))
+			return
+		}
+		providers[i] = cca.Provider{Pt: cca.Point{X: q.X, Y: q.Y}, Cap: q.Cap}
+		capacity += q.Cap
+	}
+	sess := &session{
+		m:        cca.NewDynamicMatcher(providers),
+		capacity: capacity,
+		seen:     make(map[int64]bool),
+	}
+	id, err := s.sessions.add(sess)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	s.stats.recordSession()
+	writeJSON(w, http.StatusOK, client.SessionInfo{ID: id, Capacity: capacity})
+}
+
+// handleSessionArrive serves POST /v1/sessions/{id}/arrive: one
+// customer arrival through the incremental path.
+func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
+	// Arrivals are new work: reject them during drain like solves and
+	// session creation, so keep-alive arrival loops cannot hold
+	// Shutdown open for the full drain timeout. Reads (matching) stay
+	// available.
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req client.ArriveRequest
+	if !decodeBody(w, r, maxArriveBody, &req) {
+		return
+	}
+
+	sess.mu.Lock()
+	// Each arrival permanently grows the in-memory matching graph, so
+	// the per-session arrival count is bounded like every other
+	// client-driven allocation; start a new session past the limit.
+	if sess.arrivals >= s.cfg.MaxArrivals {
+		sess.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session reached its arrival limit (%d); create a new session", s.cfg.MaxArrivals))
+		return
+	}
+	if sess.seen[req.ID] {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Sprintf("customer %d already arrived", req.ID))
+		return
+	}
+	matched, err := sess.m.Arrive(cca.Point{X: req.X, Y: req.Y}, req.ID)
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sess.seen[req.ID] = true
+	sess.arrivals++
+	resp := client.ArriveResponse{
+		Matched:  matched,
+		Size:     sess.m.Size(),
+		Cost:     sess.m.Cost(),
+		Arrivals: sess.arrivals,
+	}
+	sess.mu.Unlock()
+
+	s.stats.recordArrival(matched)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionMatching serves GET /v1/sessions/{id}/matching: the
+// current optimal matching over everything that has arrived.
+func (s *Server) handleSessionMatching(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.mu.Lock()
+	res := sess.m.Matching()
+	sess.mu.Unlock()
+
+	resp := client.MatchingResponse{Size: res.Size, Cost: res.Cost, Pairs: wirePairs(res.Pairs)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelete serves DELETE /v1/sessions/{id}.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}

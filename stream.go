@@ -174,13 +174,14 @@ type resultKey struct {
 }
 
 // resultKeyFor builds an instance's cache key. The second return is
-// false when the instance cannot be cached safely: caching disabled,
-// options carrying an opaque function (CustomerCap) whose behaviour the
-// digest cannot observe, or a metric whose dynamic type cannot be a map
-// key (the key embeds the interface value; hashing a non-comparable
-// type would panic).
+// false when the instance cannot be cached safely or usefully: caching
+// disabled, the instance opted out (NoCache), options carrying an
+// opaque function (CustomerCap) whose behaviour the digest cannot
+// observe, or a metric whose dynamic type cannot be a map key (the key
+// embeds the interface value; hashing a non-comparable type would
+// panic).
 func (e *Engine) resultKeyFor(canonical string, in Instance) (resultKey, bool) {
-	if e.cache == nil || in.Options.Core.CustomerCap != nil {
+	if e.cache == nil || in.NoCache || in.Options.Core.CustomerCap != nil {
 		return resultKey{}, false
 	}
 	// reflect.Value.Comparable checks the value, not just its type: a
