@@ -43,6 +43,11 @@ type Options struct {
 	DisableTheorem2 bool `json:"disable_theorem2,omitempty"`
 	DisableANN      bool `json:"disable_ann,omitempty"`
 	ANNGroupSize    int  `json:"ann_group_size,omitempty"`
+	// DistTable gates the bulk distance-table precompute for network-
+	// metric solves: 0 (default) sizes it automatically, -1 disables it,
+	// positive values set the memory budget in float64 cells. Purely a
+	// performance knob — results are byte-identical either way.
+	DistTable int `json:"dist_table,omitempty"`
 }
 
 // Instance is one solve request: a provider set plus a customer set —
@@ -72,6 +77,13 @@ type Instance struct {
 	Metric  string `json:"metric,omitempty"`
 	NetGrid int    `json:"net_grid,omitempty"`
 	NetSeed int64  `json:"net_seed,omitempty"`
+	// NetLandmarks configures ALT landmark pruning for "network": 0
+	// selects the server default, -1 disables it (plain Dijkstra point
+	// queries), positive values pick the landmark count (bounded by the
+	// server). Part of the network's identity — like NetGrid/NetSeed,
+	// not an Options field — because landmark state lives on the shared
+	// per-network metric. Distances are byte-identical either way.
+	NetLandmarks int `json:"net_landmarks,omitempty"`
 	// Options tunes the solve (nil = defaults).
 	Options *Options `json:"options,omitempty"`
 	// Lane selects the scheduling priority: "" or "interactive"

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// repoFile resolves a committed bench trajectory relative to this
+// package (cmd/benchgate → repo root). The tests run against the real
+// committed baselines, not fixtures: the gate's whole job is to read
+// exactly what CI reads.
+func repoFile(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", name)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	return path
+}
+
+// TestCommittedBaselinesPass gates the repo's own committed
+// trajectories: whatever is checked in must pass its own gate, or CI
+// would be red on an untouched tree.
+func TestCommittedBaselinesPass(t *testing.T) {
+	for _, name := range []string{"BENCH_net.json", "BENCH_shard.json", "BENCH_serve.json"} {
+		if msgs := gateFile(repoFile(t, name), 0.15); len(msgs) > 0 {
+			t.Errorf("%s: committed baseline fails its own gate: %v", name, msgs)
+		}
+	}
+}
+
+// loadNetRuns parses the committed net trajectory.
+func loadNetRuns(t *testing.T) []run {
+	t.Helper()
+	data, err := os.ReadFile(repoFile(t, "BENCH_net.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []run
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 || runs[0].Figures["net"] == nil {
+		t.Fatal("BENCH_net.json carries no net figure")
+	}
+	return runs
+}
+
+// writeRuns marshals runs into a temp trajectory file.
+func writeRuns(t *testing.T, runs []run) string {
+	t.Helper()
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mutateLatest deep-copies the committed baseline, appends a candidate
+// run derived from it by f, and returns the trajectory path.
+func mutateLatest(t *testing.T, f func(rows []expr.Row)) string {
+	t.Helper()
+	runs := loadNetRuns(t)
+	base := runs[len(runs)-1]
+	cand := run{Unix: base.Unix + 1, Scale: base.Scale, Metric: base.Metric,
+		Shards: base.Shards, Workers: base.Workers, Figures: map[string][]expr.Row{}}
+	rows := append([]expr.Row(nil), base.Figures["net"]...)
+	f(rows)
+	cand.Figures["net"] = rows
+	return writeRuns(t, append(runs, cand))
+}
+
+// TestIdenticalCandidatePasses appends a byte-identical rerun: the gate
+// must accept a candidate whose ratios match the baseline exactly.
+func TestIdenticalCandidatePasses(t *testing.T) {
+	path := mutateLatest(t, func([]expr.Row) {})
+	if msgs := gateFile(path, 0.15); len(msgs) > 0 {
+		t.Errorf("identical candidate rejected: %v", msgs)
+	}
+}
+
+// TestInflatedCPUFails slows the candidate's alt and table rows 3x
+// relative to the run's own reference row — the machine-independent
+// shape regression the gate exists to catch.
+func TestInflatedCPUFails(t *testing.T) {
+	path := mutateLatest(t, func(rows []expr.Row) {
+		for i := range rows {
+			if rows[i].Label == "alt" || rows[i].Label == "table" {
+				rows[i].CPU *= 3
+			}
+		}
+	})
+	msgs := gateFile(path, 0.15)
+	if len(msgs) == 0 {
+		t.Fatal("3x normalized CPU regression passed the gate")
+	}
+	if !containsAll(msgs, "alt", "table") {
+		t.Errorf("findings name neither inflated row: %v", msgs)
+	}
+}
+
+// TestUniformSlowdownPasses scales *every* CPU (the reference row too)
+// by 4x — a slower machine, not a regression. Normalization must
+// absorb it.
+func TestUniformSlowdownPasses(t *testing.T) {
+	path := mutateLatest(t, func(rows []expr.Row) {
+		for i := range rows {
+			rows[i].CPU *= 4
+		}
+	})
+	if msgs := gateFile(path, 0.15); len(msgs) > 0 {
+		t.Errorf("uniform 4x slowdown (machine speed) rejected: %v", msgs)
+	}
+}
+
+// TestCostDriftFails perturbs a deterministic field: the solve result
+// changed, which is never acceptable for a perf-only commit.
+func TestCostDriftFails(t *testing.T) {
+	path := mutateLatest(t, func(rows []expr.Row) {
+		for i := range rows {
+			if rows[i].Label == "table" {
+				rows[i].Cost *= 1.0001
+			}
+		}
+	})
+	msgs := gateFile(path, 0.15)
+	if len(msgs) == 0 {
+		t.Fatal("cost drift passed the gate")
+	}
+	if !containsAll(msgs, "cost") {
+		t.Errorf("findings do not mention cost: %v", msgs)
+	}
+}
+
+// TestSpeedupFloor drops the table row's speedup under 3x: the gate
+// must enforce the floor even with no prior run to diff against.
+func TestSpeedupFloor(t *testing.T) {
+	runs := loadNetRuns(t)
+	last := runs[len(runs)-1]
+	rows := append([]expr.Row(nil), last.Figures["net"]...)
+	var bidi int64
+	for _, r := range rows {
+		if r.Label == "bidi" {
+			bidi = int64(r.CPU)
+		}
+	}
+	for i := range rows {
+		if rows[i].Label == "table" {
+			rows[i].CPU = time.Duration(bidi / 2) // 2x < 3x floor
+		}
+	}
+	last.Figures = map[string][]expr.Row{"net": rows}
+	path := writeRuns(t, []run{last})
+	msgs := gateFile(path, 0.15)
+	if len(msgs) == 0 {
+		t.Fatal("sub-floor table speedup passed the gate")
+	}
+	if !containsAll(msgs, "floor") {
+		t.Errorf("findings do not mention the floor: %v", msgs)
+	}
+}
+
+func containsAll(msgs []string, subs ...string) bool {
+	joined := strings.Join(msgs, "\n")
+	for _, s := range subs {
+		if !strings.Contains(joined, s) {
+			return false
+		}
+	}
+	return true
+}

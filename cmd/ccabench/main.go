@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", "shard", or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", "shard", "net", or "all"`)
 	scale := flag.Float64("scale", 0.05, "cardinality scale factor (1.0 = paper size)")
 	algos := flag.String("algos", "", "comma-separated solver names swept by the exact figures\n(default "+
 		strings.Join(expr.ExactAlgos(), ",")+"; registered: "+strings.Join(solver.Names(), ",")+")")
@@ -40,9 +41,14 @@ independent figure points through the shared scheduler concurrently
 	shards := flag.Int("shards", 0, `region count threaded into every sweep for sharded:* solvers
 (0 = the shard layer's automatic count); pick solvers with -algos,
 e.g. -algos ida,sharded:ida -shards 8`)
-	jsonOut := flag.String("json", "", `write the run's rows as a JSON trajectory to this file
-(e.g. BENCH_shard.json for -fig shard); with -serve, append one row
-per run to it (e.g. BENCH_serve.json)`)
+	landmarks := flag.Int("landmarks", -1, `ALT landmark count for -metric network workloads: -1 = default,
+0 = disable landmark pruning (plain Dijkstra point queries)`)
+	table := flag.String("table", "auto", `bulk distance-table precompute threaded into every sweep's
+options: "auto" (size-gated), "off", or a float64-cell memory budget`)
+	jsonOut := flag.String("json", "", `append the run's rows to this JSON trajectory file
+(e.g. BENCH_shard.json for -fig shard, BENCH_net.json for -fig net,
+BENCH_serve.json with -serve); each run appends one document, so the
+file accumulates a cross-commit trajectory benchgate can diff`)
 	serve := flag.Bool("serve", false, `serving load mode: boot an in-process ccad server and drive it
 with concurrent HTTP clients mixing batch solves and session
 arrivals; reports latency percentiles and throughput instead of
@@ -65,6 +71,19 @@ figure tables (-fig is ignored)`)
 		os.Exit(2)
 	}
 	expr.SetShards(*shards)
+	expr.SetLandmarks(*landmarks)
+	switch strings.ToLower(*table) {
+	case "", "auto":
+	case "off":
+		expr.SetDistTable(-1)
+	default:
+		budget, err := strconv.Atoi(*table)
+		if err != nil || budget < 1 {
+			fmt.Fprintf(os.Stderr, "ccabench: -table must be auto, off, or a positive cell budget (got %q)\n", *table)
+			os.Exit(2)
+		}
+		expr.SetDistTable(budget)
+	}
 
 	streaming := false
 	if *stream == 0 {
@@ -113,8 +132,9 @@ figure tables (-fig is ignored)`)
 		"baselines": wrap("baselines", expr.BaselineScaling),
 		"index":     wrap("index", expr.IndexPolicy),
 		"shard":     wrap("shard", expr.ShardScaling),
+		"net":       wrap("net", expr.NetBackends),
 	}
-	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index", "shard"}
+	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index", "shard", "net"}
 
 	var selected []string
 	if *fig == "all" {
@@ -155,24 +175,50 @@ figure tables (-fig is ignored)`)
 	}
 }
 
-// writeTrajectory persists a run's measurements as JSON — the bench
-// trajectory file (BENCH_shard.json for the shard sweep) downstream
-// tooling diffs across commits.
+// trajectoryRun is one ccabench run's measurements — one element of a
+// trajectory file (BENCH_shard.json, BENCH_net.json), which is a JSON
+// array accumulating one document per run so downstream tooling
+// (cmd/benchgate) can diff runs across commits.
+type trajectoryRun struct {
+	Unix    int64                 `json:"unix"`
+	Scale   float64               `json:"scale"`
+	Metric  string                `json:"metric"`
+	Shards  int                   `json:"shards"`
+	Workers int                   `json:"workers"`
+	Figures map[string][]expr.Row `json:"figures"`
+}
+
+// writeTrajectory appends a run to the trajectory file. A pre-existing
+// file holding a single run object (the format before trajectories
+// appended) is absorbed as the array's first element rather than
+// overwritten, so old baselines keep their history.
 func writeTrajectory(path string, scale float64, shards int, figures map[string][]expr.Row) error {
-	doc := struct {
-		Scale   float64               `json:"scale"`
-		Metric  string                `json:"metric"`
-		Shards  int                   `json:"shards"`
-		Workers int                   `json:"workers"`
-		Figures map[string][]expr.Row `json:"figures"`
-	}{
+	doc := trajectoryRun{
+		Unix:    time.Now().Unix(),
 		Scale:   scale,
 		Metric:  expr.MetricName(),
 		Shards:  shards,
 		Workers: runtime.GOMAXPROCS(0),
 		Figures: figures,
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	var runs []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(data, &runs) != nil {
+			runs = nil
+			var legacy trajectoryRun
+			if json.Unmarshal(data, &legacy) == nil && legacy.Figures != nil {
+				if raw, err := json.Marshal(legacy); err == nil {
+					runs = []json.RawMessage{raw}
+				}
+			}
+		}
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	runs = append(runs, raw)
+	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {
 		return err
 	}

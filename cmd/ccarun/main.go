@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,8 +36,12 @@ func main() {
 		metric   = flag.String("metric", "euclidean", `distance backend: "euclidean" or "network"
 (network = shortest-path over the synthetic road network; use the same
 -netgrid/-netseed the workload was generated with)`)
-		netGrid = flag.Int("netgrid", 32, "road network grid size for -metric network (ccagen's -grid)")
-		netSeed = flag.Int64("netseed", 2008, "road network seed for -metric network (ccagen's -seed)")
+		netGrid   = flag.Int("netgrid", 32, "road network grid size for -metric network (ccagen's -grid)")
+		netSeed   = flag.Int64("netseed", 2008, "road network seed for -metric network (ccagen's -seed)")
+		landmarks = flag.Int("landmarks", -1, `ALT landmark count for -metric network: -1 = default
+(`+fmt.Sprint(netmetric.DefaultLandmarks)+`), 0 = disable landmark pruning (plain Dijkstra point queries)`)
+		distTable = flag.String("disttable", "auto", `bulk distance-table precompute for -metric network:
+"auto" (size-gated), "off", or a float64-cell memory budget (e.g. 16000000)`)
 		timeout = flag.Duration("timeout", 0, `abort the solve after this long (e.g. 30s, 2m; 0 = no limit);
 the solvers observe the deadline between augmenting iterations`)
 		shards = flag.Int("shards", 0, `region count for the sharded meta-solver (-algo sharded[:base]):
@@ -81,7 +86,20 @@ units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 		// uses the same grid/seed/space recipe) and measure edge costs as
 		// shortest-path travel distances over it.
 		netMetric = cca.RoadNetworkMetric(*netGrid, expr.Space, *netSeed).(*netmetric.NetworkMetric)
+		netMetric.SetLandmarks(*landmarks)
 		opts.Core.Metric = netMetric
+		switch strings.ToLower(*distTable) {
+		case "", "auto":
+		case "off":
+			opts.Core.DistTable = -1
+		default:
+			budget, err := strconv.Atoi(*distTable)
+			if err != nil || budget < 1 {
+				fmt.Fprintf(os.Stderr, "ccarun: -disttable must be auto, off, or a positive cell budget (got %q)\n", *distTable)
+				os.Exit(2)
+			}
+			opts.Core.DistTable = budget
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "ccarun: unknown metric %q (available: euclidean, network)\n", *metric)
 		os.Exit(2)
@@ -109,8 +127,8 @@ units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 	fmt.Printf("algorithm      %s (%s)\n", strings.ToUpper(res.Solver), res.Kind)
 	if netMetric != nil {
 		st := netMetric.Stats()
-		fmt.Printf("metric         network (%d nodes, %d edges; node-cache hit rate %.1f%%)\n",
-			netMetric.NumNodes(), netMetric.NumEdges(), 100*st.NodeHitRate())
+		fmt.Printf("metric         network (%d nodes, %d edges; %d landmarks; node-cache hit rate %.1f%%)\n",
+			netMetric.NumNodes(), netMetric.NumEdges(), netMetric.Landmarks(), 100*st.NodeHitRate())
 	} else {
 		fmt.Printf("metric         euclidean\n")
 	}

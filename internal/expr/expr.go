@@ -58,6 +58,24 @@ func SetMetric(name string) error {
 // MetricName returns the selected distance backend's name.
 func MetricName() string { return metricName }
 
+// netLandmarks carries ccabench's -landmarks flag into every network
+// workload: -1 = the package default, 0 = landmark pruning disabled
+// (plain Dijkstra point queries), positive = explicit count. Purely a
+// performance knob — distances are byte-identical either way.
+var netLandmarks = -1
+
+// netDistTable carries ccabench's -table flag into every sweep's
+// options (core.Options.DistTable encoding: 0 auto, -1 off, positive =
+// budget in float64 cells).
+var netDistTable = 0
+
+// SetLandmarks sets the ALT landmark count for network workloads.
+func SetLandmarks(k int) { netLandmarks = k }
+
+// SetDistTable sets the bulk distance-table gate threaded into every
+// sweep's options.
+func SetDistTable(v int) { netDistTable = v }
+
 // Params describes one experiment configuration (Table 2 plus
 // distribution selectors and a seed).
 type Params struct {
@@ -122,10 +140,19 @@ func (w *Workload) Dataset() solver.Dataset {
 // (§5.1's recipe), customers bulk-loaded into a 1 KB-page R-tree with a
 // 1% LRU buffer.
 func Build(p Params) (*Workload, error) {
-	net := datagen.NewNetwork(32, Space, p.Seed)
+	return BuildOnGrid(p, 32)
+}
+
+// BuildOnGrid is Build with an explicit road-network grid size. The
+// figure sweeps all use the default 32 (1K nodes); the net-backend
+// sweep uses a finer grid, where shortest-path cost actually matters.
+func BuildOnGrid(p Params, grid int) (*Workload, error) {
+	net := datagen.NewNetwork(grid, Space, p.Seed)
 	var metric geo.Metric
 	if metricName == netmetric.Name {
-		metric = netmetric.FromNetwork(net)
+		m := netmetric.FromNetwork(net)
+		m.SetLandmarks(netLandmarks)
+		metric = m
 	}
 	qpts := net.Points(datagen.Config{N: p.NQ, Dist: p.DistQ, Seed: p.Seed + 1})
 	ppts := net.Points(datagen.Config{N: p.NP, Dist: p.DistP, Seed: p.Seed + 2})

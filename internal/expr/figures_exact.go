@@ -52,7 +52,7 @@ func sweepExact(points []Params, labels []string, algos []string) ([]Row, error)
 }
 
 func coreOptions(p Params) core.Options {
-	return core.Options{Theta: p.Theta, Space: Space, Shards: shardCount}
+	return core.Options{Theta: p.Theta, Space: Space, Shards: shardCount, DistTable: netDistTable}
 }
 
 // Fig8 reproduces Figure 8: CPU time vs capacity k on the small instance

@@ -1,0 +1,92 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datagen"
+	"repro/internal/geo/netmetric"
+)
+
+// NetBackends is the distance-backend trajectory behind BENCH_net.json:
+// one instance (the Table 2 default at the given scale, shard-sweep
+// capacities), solved cold by IDA under every network-distance backend
+// plus the Euclidean baseline for context. Each network row rebuilds a
+// fresh metric, so nothing is amortized across rows — the CPU column is
+// the full cold cost including landmark/table preprocessing (the solver
+// charges table builds to CPUTime).
+//
+// Rows:
+//
+//	euclid    straight-line distance (the paper's setting)
+//	bidi      legacy bidirectional Dijkstra point queries — the
+//	          pre-ALT baseline benchgate measures speedups against
+//	dijkstra  canonical plain forward Dijkstra, landmarks disabled
+//	alt       ALT A* with default landmarks (the point-query default)
+//	table     ALT plus the bulk many-to-many distance table
+//
+// dijkstra, alt and table return byte-identical matchings (the root
+// conformance suite pins this); bidi agrees only to rounding error,
+// which is exactly why it was demoted to a baseline.
+func NetBackends(s float64, out io.Writer) ([]Row, error) {
+	p := Default(s)
+	// The figure sweeps run on the default 32×32 grid (1K nodes), where
+	// a point Dijkstra is microseconds and the solver itself dominates —
+	// no distance backend could show its shape there (Amdahl caps the
+	// end-to-end gain near 1). This sweep is *about* the distance
+	// backend, so it uses a road network at a realistic granularity:
+	// 128×128 ≈ 16K nodes, the regime ALT and bulk tables exist for.
+	const netGrid = 128
+
+	// The workload (points, tree, buffer) is metric-independent; build
+	// it once and swap a fresh metric in per row so every solve is cold.
+	w, err := BuildOnGrid(p, netGrid)
+	if err != nil {
+		return nil, err
+	}
+
+	backends := []struct {
+		name  string
+		setup func(m *netmetric.NetworkMetric) // nil = Euclidean row
+		table int                              // core.Options.DistTable for the row
+	}{
+		{"euclid", nil, 0},
+		{"bidi", func(m *netmetric.NetworkMetric) { m.SetLandmarks(0); m.SetLegacyBidi(true) }, -1},
+		{"dijkstra", func(m *netmetric.NetworkMetric) { m.SetLandmarks(0) }, -1},
+		{"alt", func(m *netmetric.NetworkMetric) {}, -1},
+		{"table", func(m *netmetric.NetworkMetric) {}, 0},
+	}
+
+	var rows []Row
+	for _, b := range backends {
+		if b.setup == nil {
+			w.Metric = nil
+		} else {
+			m := netmetric.FromNetwork(datagen.NewNetwork(netGrid, Space, p.Seed))
+			b.setup(m)
+			w.Metric = m
+		}
+		opts := coreOptions(p)
+		opts.DistTable = b.table
+		row, err := runExact("ida", w, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = b.name
+		rows = append(rows, row)
+	}
+	PrintRows(out, fmt.Sprintf("Network distance backends: cold ida solves, |Q|=%d |P|=%d k(cap)=%d",
+		p.NQ, p.NP, p.K), rows, false)
+
+	speedup := func(name string) float64 {
+		for _, r := range rows {
+			if r.Label == name && r.CPU > 0 {
+				return float64(rows[1].CPU) / float64(r.CPU)
+			}
+		}
+		return 0
+	}
+	fmt.Fprintf(out, "cold-solve speedup vs bidi baseline: dijkstra %.2fx, alt %.2fx, table %.2fx\n",
+		speedup("dijkstra"), speedup("alt"), speedup("table"))
+	return rows, nil
+}

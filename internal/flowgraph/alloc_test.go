@@ -1,0 +1,55 @@
+package flowgraph
+
+import "testing"
+
+// raceEnabled is set by race_test.go under -race, where sync.Pool reuse
+// is deliberately defeated and allocation budgets cannot hold.
+var raceEnabled bool
+
+// TestAllocsGraphConstruction pins the pooled construction budget: once
+// the pools are warm, building a graph, registering its customers and
+// edges, and releasing it must not allocate per-customer or per-edge
+// state — only the Graph header itself (and, rarely, a pool miss when
+// GC clears the pools mid-run, hence the small slack). Before the
+// graphArrays pool this sat at ~8 allocations per cycle just for the
+// construction arrays, plus one per customer for the assignment lists.
+func TestAllocsGraphConstruction(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets don't hold under the race detector")
+	}
+	providers, customers := benchInstance(16, 512, 4)
+	cycle := func() {
+		g := NewGraph(providers, false)
+		for _, c := range customers {
+			ci := g.AddCustomer(c.Pt, c.Cap, c.ExtID)
+			g.AddEdge(int32(int(ci)%len(providers)), ci)
+		}
+		g.Release()
+	}
+	// Warm the pools and grow every backing array to its steady size.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	avg := testing.AllocsPerRun(50, cycle)
+	// One alloc for the Graph struct; a little slack for incidental
+	// pool churn. The point is the absence of O(customers) allocation.
+	if avg > 4 {
+		t.Fatalf("graph construct/release cycle allocates %.1f times; want <= 4 (pooled scratch)", avg)
+	}
+}
+
+// BenchmarkGraphConstruction measures the pooled build/release cycle the
+// batch engine pays per solve.
+func BenchmarkGraphConstruction(b *testing.B) {
+	providers, customers := benchInstance(16, 512, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(providers, false)
+		for _, c := range customers {
+			ci := g.AddCustomer(c.Pt, c.Cap, c.ExtID)
+			g.AddEdge(int32(int(ci)%len(providers)), ci)
+		}
+		g.Release()
+	}
+}

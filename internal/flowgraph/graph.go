@@ -23,6 +23,7 @@ package flowgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/geo"
 )
@@ -115,7 +116,65 @@ type Graph struct {
 	metric geo.Metric
 
 	search *searchState
+	arr    *graphArrays
 	stats  Stats
+}
+
+// graphArrays bundles a graph's construction-time arrays so they can be
+// pooled across solves, like the searchState scratch: the batch
+// engine's workload builds one graph per solve, and without pooling the
+// provider/customer arrays alone dominate its steady-state allocation
+// (BenchmarkGraphConstruction and TestAllocsGraphConstruction pin the
+// budget). Provider-indexed arrays are re-zeroed on acquire; the
+// customer-indexed ones only ever append, so truncation suffices.
+type graphArrays struct {
+	provUsed    []int
+	adj         [][]halfEdge
+	tau         []float64
+	lastAlpha   []float64
+	customers   []Customer
+	custUsed    []int
+	assigned    [][]int32
+	assignedLen []float64
+}
+
+var arraysPool = sync.Pool{New: func() any { return &graphArrays{} }}
+
+// growZero returns s with length n and every element zeroed, reusing
+// its backing array when the capacity allows.
+func growZero[T int | float64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// acquireArrays returns pooled construction arrays sized for n
+// providers: provider-indexed arrays zeroed at length n, customer-
+// indexed arrays empty with their backing storage (including the
+// per-customer assignment lists and per-provider adjacency lists)
+// retained for reuse.
+func acquireArrays(n int) *graphArrays {
+	a := arraysPool.Get().(*graphArrays)
+	a.provUsed = growZero(a.provUsed, n)
+	a.tau = growZero(a.tau, n)
+	a.lastAlpha = growZero(a.lastAlpha, n)
+	if cap(a.adj) < n {
+		a.adj = append(a.adj[:cap(a.adj)], make([][]halfEdge, n-cap(a.adj))...)
+	}
+	a.adj = a.adj[:n]
+	for i := range a.adj {
+		a.adj[i] = a.adj[i][:0]
+	}
+	a.customers = a.customers[:0]
+	a.custUsed = a.custUsed[:0]
+	a.assigned = a.assigned[:0]
+	a.assignedLen = a.assignedLen[:0]
+	return a
 }
 
 // NewGraph creates a graph over the given providers. When complete is
@@ -123,21 +182,25 @@ type Graph struct {
 // added so far (SSPA baseline); otherwise only explicitly added edges
 // exist (the incremental algorithms).
 //
-// The Dijkstra scratch state is drawn from a shared pool; callers that
-// solve many instances back to back should call Release when done with
-// the graph so repeated solves stop allocating.
+// The Dijkstra scratch state and the construction arrays are drawn from
+// shared pools; callers that solve many instances back to back should
+// call Release when done with the graph so repeated solves stop
+// allocating.
 func NewGraph(providers []Provider, complete bool) *Graph {
+	a := acquireArrays(len(providers))
 	g := &Graph{
-		providers: providers,
-		provUsed:  make([]int, len(providers)),
-		adj:       make([][]halfEdge, len(providers)),
-		tau:       make([]float64, len(providers)),
-		lastAlpha: make([]float64, len(providers)),
-		complete:  complete,
-		metric:    geo.Euclidean,
-	}
-	for i := range g.lastAlpha {
-		g.lastAlpha[i] = 0
+		providers:   providers,
+		provUsed:    a.provUsed,
+		adj:         a.adj,
+		tau:         a.tau,
+		lastAlpha:   a.lastAlpha,
+		customers:   a.customers,
+		custUsed:    a.custUsed,
+		assigned:    a.assigned,
+		assignedLen: a.assignedLen,
+		complete:    complete,
+		metric:      geo.Euclidean,
+		arr:         a,
 	}
 	g.search = acquireSearchState(len(providers))
 	return g
@@ -154,15 +217,38 @@ func (g *Graph) SetMetric(m geo.Metric) {
 // Metric returns the edge-cost metric in use.
 func (g *Graph) Metric() geo.Metric { return g.metric }
 
-// Release returns the graph's pooled Dijkstra scratch state for reuse.
-// The graph must not be searched or augmented afterwards; reading the
-// matching (Pairs, Cost, Stats) remains valid. Calling Release more
-// than once is a no-op.
+// Release returns the graph's pooled scratch — the Dijkstra search
+// state and the construction arrays — for reuse. The graph must not be
+// used at all afterwards: searching, augmenting, and reading the
+// matching (Pairs, Cost, Stats counters excepted) are invalid once the
+// arrays may belong to another solve, so extract results first (the
+// core algorithms do, via finish, before their deferred Release runs).
+// Calling Release more than once is a no-op.
 func (g *Graph) Release() {
 	if g.search != nil {
 		g.search.release()
 		g.search = nil
 	}
+	if g.arr == nil {
+		return
+	}
+	// Hand the (possibly grown) arrays back and nil the graph's views,
+	// so a use-after-release fails loudly instead of reading an array
+	// recycled into a concurrent solve.
+	*g.arr = graphArrays{
+		provUsed:    g.provUsed,
+		adj:         g.adj,
+		tau:         g.tau,
+		lastAlpha:   g.lastAlpha,
+		customers:   g.customers,
+		custUsed:    g.custUsed,
+		assigned:    g.assigned,
+		assignedLen: g.assignedLen,
+	}
+	arraysPool.Put(g.arr)
+	g.arr = nil
+	g.provUsed, g.adj, g.tau, g.lastAlpha = nil, nil, nil, nil
+	g.customers, g.custUsed, g.assigned, g.assignedLen = nil, nil, nil, nil
 }
 
 // NumProviders returns |Q|.
@@ -193,10 +279,18 @@ func (g *Graph) TotalCapacity() int {
 }
 
 // AddCustomer registers a customer and returns its node-local index.
-func (g *Graph) AddCustomer(pt geo.Point, cap int, extID int64) int32 {
-	g.customers = append(g.customers, Customer{Pt: pt, Cap: cap, ExtID: extID})
+func (g *Graph) AddCustomer(pt geo.Point, capacity int, extID int64) int32 {
+	g.customers = append(g.customers, Customer{Pt: pt, Cap: capacity, ExtID: extID})
 	g.custUsed = append(g.custUsed, 0)
-	g.assigned = append(g.assigned, nil)
+	// Extend in place while pooled capacity remains: appending nil
+	// would overwrite the slot and discard the recycled assignment
+	// list's backing array.
+	if n := len(g.assigned); n < cap(g.assigned) {
+		g.assigned = g.assigned[:n+1]
+		g.assigned[n] = g.assigned[n][:0]
+	} else {
+		g.assigned = append(g.assigned, nil)
+	}
 	g.assignedLen = append(g.assignedLen, 0)
 	g.tau = append(g.tau, 0)
 	g.search.grow(len(g.providers) + len(g.customers))

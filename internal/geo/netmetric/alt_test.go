@@ -1,0 +1,233 @@
+package netmetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geo"
+)
+
+// raceEnabled is set by race_test.go under -race, where sync.Pool reuse
+// is deliberately defeated and allocation budgets cannot hold.
+var raceEnabled bool
+
+// testPairs returns deterministic pseudo-random node pairs over m.
+func testPairs(m *NetworkMetric, n int, seed int64) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]int32, n)
+	for i := range out {
+		out[i] = [2]int32{int32(rng.Intn(m.NumNodes())), int32(rng.Intn(m.NumNodes()))}
+	}
+	return out
+}
+
+// TestALTMatchesPlainDijkstra pins the canonical-float contract of
+// search.go: the ALT A* and the plain forward Dijkstra must return the
+// *same* float64 for every oriented node pair — not merely close. The
+// conformance suite's byte-identical solves across backends rest on
+// this.
+func TestALTMatchesPlainDijkstra(t *testing.T) {
+	m := FromNetwork(datagen.NewNetwork(16, space, 2008))
+	lm := m.landmarks()
+	if lm == nil {
+		t.Fatal("landmarks disabled by default")
+	}
+	for _, pr := range testPairs(m, 2000, 1) {
+		a, b := pr[0], pr[1]
+		if a == b {
+			continue
+		}
+		plain := m.forwardDijkstra(a, b)
+		alt := m.astar(a, b, lm)
+		if plain != alt {
+			t.Fatalf("astar(%d,%d)=%v != forwardDijkstra=%v (diff %g)", a, b, alt, plain, alt-plain)
+		}
+	}
+}
+
+// TestBidiAgreesWithinEps cross-checks the legacy bidirectional
+// baseline against the canonical forward search: the two sum the same
+// real path in different orders, so they agree to rounding error but
+// not byte-for-byte (which is why bidi is benchmark-only).
+func TestBidiAgreesWithinEps(t *testing.T) {
+	m := FromNetwork(datagen.NewNetwork(16, space, 2008))
+	for _, pr := range testPairs(m, 500, 2) {
+		a, b := pr[0], pr[1]
+		if a == b {
+			continue
+		}
+		fwd := m.forwardDijkstra(a, b)
+		bidi := m.bidiDijkstra(a, b)
+		if math.Abs(fwd-bidi) > 1e-9*(1+fwd) {
+			t.Fatalf("bidi(%d,%d)=%v vs forward=%v", a, b, bidi, fwd)
+		}
+	}
+}
+
+// TestLegacyBidiMode checks the SetLegacyBidi knob routes point queries
+// through the baseline search and still satisfies the metric contract.
+func TestLegacyBidiMode(t *testing.T) {
+	net := datagen.NewNetwork(12, space, 7)
+	pts := net.Points(datagen.Config{N: 64, Dist: datagen.Uniform, Seed: 3})
+	legacy := FromNetwork(net)
+	legacy.SetLegacyBidi(true)
+	canon := FromNetwork(net)
+	for i := 0; i+1 < len(pts); i += 2 {
+		dl := legacy.Dist(pts[i], pts[i+1])
+		dc := canon.Dist(pts[i], pts[i+1])
+		if math.Abs(dl-dc) > 1e-9*(1+dc) {
+			t.Fatalf("legacy bidi Dist=%v vs canonical %v", dl, dc)
+		}
+	}
+}
+
+// TestManyToManyMatchesPointQueries pins byte-identity of the bulk
+// path: ManyToMany, Table.Dist and point-query Dist must agree
+// exactly, with landmarks on and off.
+func TestManyToManyMatchesPointQueries(t *testing.T) {
+	net := datagen.NewNetwork(12, space, 2008)
+	sources := net.Points(datagen.Config{N: 24, Dist: datagen.Uniform, Seed: 4})
+	targets := net.Points(datagen.Config{N: 200, Dist: datagen.Clustered, Seed: 5})
+	for _, lmk := range []int{DefaultLandmarks, 0} {
+		bulk := FromNetwork(net)
+		bulk.SetLandmarks(lmk)
+		mat := bulk.ManyToMany(sources, targets)
+		tab := bulk.BuildTable(sources, 0)
+		if tab == nil {
+			t.Fatal("BuildTable declined within default budget")
+		}
+		point := FromNetwork(net)
+		point.SetLandmarks(lmk)
+		for i, s := range sources {
+			for j, q := range targets {
+				want := point.Dist(s, q)
+				if mat[i][j] != want {
+					t.Fatalf("landmarks=%d ManyToMany[%d][%d]=%v != Dist=%v", lmk, i, j, mat[i][j], want)
+				}
+				if got := tab.Dist(s, q); got != want {
+					t.Fatalf("landmarks=%d Table.Dist[%d][%d]=%v != Dist=%v", lmk, i, j, got, want)
+				}
+			}
+		}
+		// Uncovered sources fall back to point queries, byte-identically.
+		for j := 0; j+1 < len(targets); j += 7 {
+			want := point.Dist(targets[j], targets[j+1])
+			if got := tab.Dist(targets[j], targets[j+1]); got != want {
+				t.Fatalf("landmarks=%d fallback Table.Dist=%v != Dist=%v", lmk, got, want)
+			}
+		}
+	}
+}
+
+// TestBuildTableBudget checks the size gate: a budget too small for the
+// source set's endpoint vectors declines instead of materializing.
+func TestBuildTableBudget(t *testing.T) {
+	net := datagen.NewNetwork(12, space, 2008)
+	m := FromNetwork(net)
+	sources := net.Points(datagen.Config{N: 16, Dist: datagen.Uniform, Seed: 6})
+	if tab := m.BuildTable(sources, m.NumNodes()); tab != nil {
+		t.Fatalf("BuildTable built %d vectors under a 1-vector budget", tab.Coverage())
+	}
+	tab := m.BuildTable(sources, 0)
+	if tab == nil {
+		t.Fatal("BuildTable declined the default budget")
+	}
+	if got, max := tab.Coverage(), 2*len(sources); got < 1 || got > max {
+		t.Fatalf("table coverage %d outside [1,%d]", got, max)
+	}
+}
+
+// TestAllocsPointQuery pins the pooled-scratch budget of the cold point
+// searches: once pools and landmark state are warm, a query must not
+// allocate.
+func TestAllocsPointQuery(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets don't hold under the race detector")
+	}
+	m := FromNetwork(datagen.NewNetwork(16, space, 2008))
+	lm := m.landmarks()
+	pairs := testPairs(m, 64, 7)
+	var sink float64
+	run := func(f func(i int)) float64 {
+		f(0) // warm pools to steady-state sizes
+		i := 0
+		return testing.AllocsPerRun(100, func() { f(i % len(pairs)); i++ })
+	}
+	if avg := run(func(i int) { sink = m.astar(pairs[i][0], pairs[i][1], lm) }); avg != 0 {
+		t.Errorf("astar allocates %.1f per query; want 0", avg)
+	}
+	if avg := run(func(i int) { sink = m.forwardDijkstra(pairs[i][0], pairs[i][1]) }); avg != 0 {
+		t.Errorf("forwardDijkstra allocates %.1f per query; want 0", avg)
+	}
+	if avg := run(func(i int) { sink = m.bidiDijkstra(pairs[i][0], pairs[i][1]) }); avg != 0 {
+		t.Errorf("bidiDijkstra allocates %.1f per query; want 0", avg)
+	}
+	_ = sink
+}
+
+// TestAllocsManyToMany pins the bulk sweep's budget: with a warm snap
+// cache and pooled scratch, a ManyToManyInto call into a caller buffer
+// must not allocate.
+func TestAllocsManyToMany(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets don't hold under the race detector")
+	}
+	net := datagen.NewNetwork(12, space, 2008)
+	m := FromNetwork(net)
+	sources := net.Points(datagen.Config{N: 16, Dist: datagen.Uniform, Seed: 8})
+	targets := net.Points(datagen.Config{N: 128, Dist: datagen.Clustered, Seed: 9})
+	out := make([]float64, len(sources)*len(targets))
+	m.ManyToManyInto(sources, targets, out) // warm snap cache + scratch pool
+	if avg := testing.AllocsPerRun(20, func() {
+		m.ManyToManyInto(sources, targets, out)
+	}); avg != 0 {
+		t.Errorf("ManyToManyInto allocates %.1f per sweep; want 0", avg)
+	}
+}
+
+// FuzzLandmarkBound fuzzes the ALT bound's contract: admissibility
+// against both the point metric and the node distances, symmetry, and
+// agreement with the Euclidean floor.
+func FuzzLandmarkBound(f *testing.F) {
+	f.Add(0.0, 0.0, 1000.0, 1000.0)
+	f.Add(13.5, 900.25, 800.0, 17.75)
+	f.Add(500.0, 500.0, 500.0, 500.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2 float64) {
+		coords := [4]float64{x1, y1, x2, y2}
+		for i, v := range coords {
+			c, ok := clampToSpace(v)
+			if !ok {
+				t.Skip("non-finite input")
+			}
+			coords[i] = c
+		}
+		p := geo.Point{X: coords[0], Y: coords[1]}
+		q := geo.Point{X: coords[2], Y: coords[3]}
+		m := fuzzMetric()
+		lm := m.landmarks()
+
+		lb := m.LowerBound(p, q)
+		d := m.Dist(p, q)
+		if lb > d {
+			t.Fatalf("landmark bound not admissible: lb=%v > Dist=%v for %v -> %v", lb, d, p, q)
+		}
+		if euclid := p.Dist(q); lb < euclid {
+			t.Fatalf("bound below Euclidean floor: lb=%v < %v", lb, euclid)
+		}
+		if rev := m.LowerBound(q, p); math.Abs(lb-rev) > 1e-9*(1+lb) {
+			t.Fatalf("bound asymmetric: %v vs %v", lb, rev)
+		}
+		// Node-level admissibility and exact symmetry, consistent with
+		// the node triangle contract in FuzzMetricContract.
+		a, b := m.SnapNode(p), m.SnapNode(q)
+		nb := lm.lbNodes(a, b)
+		if rev := lm.lbNodes(b, a); rev != nb {
+			t.Fatalf("lbNodes asymmetric: %v vs %v", nb, rev)
+		}
+		if nd := m.NodeDist(a, b); nb > nd+1e-9*(1+nd) {
+			t.Fatalf("lbNodes(%d,%d)=%v exceeds NodeDist=%v", a, b, nb, nd)
+		}
+	})
+}

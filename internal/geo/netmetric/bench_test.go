@@ -27,16 +27,64 @@ func BenchmarkNetworkMetric(b *testing.B) {
 	b.ReportMetric(float64(st.NodeMisses), "dijkstras")
 }
 
-// BenchmarkNetworkMetricCold isolates the uncached cost: every
-// iteration queries a fresh metric, so each Dist pays its snap and
-// bidirectional Dijkstra in full.
+// BenchmarkNetworkMetricCold isolates the uncached cost the way a cold
+// solve pays it: every iteration builds a fresh metric and runs a batch
+// of point queries, so the one-time ALT preprocessing is amortized over
+// the batch exactly as it is over an instance's P×C distance calls.
 func BenchmarkNetworkMetricCold(b *testing.B) {
 	net := datagen.NewNetwork(32, space, 2008)
 	pts := net.Points(datagen.Config{N: 256, Dist: datagen.Uniform, Seed: 2})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := FromNetwork(net)
-		m.Dist(pts[i%len(pts)], pts[(i+1)%len(pts)])
+		for j := 0; j < 64; j++ {
+			k := (i*64 + j) % len(pts)
+			m.Dist(pts[k], pts[(k+1)%len(pts)])
+		}
+	}
+}
+
+// BenchmarkNetworkMetricPointQuery compares the cold point-query
+// backends on identical node pairs: the legacy bidirectional baseline,
+// the plain forward Dijkstra, and the default ALT A* (whose one-time
+// landmark build is excluded here — BENCH_net.json charges it to the
+// end-to-end solve where it belongs).
+func BenchmarkNetworkMetricPointQuery(b *testing.B) {
+	m := FromNetwork(datagen.NewNetwork(32, space, 2008))
+	lm := m.landmarks()
+	pairs := testPairs(m, 1024, 11)
+	b.Run("bidi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := pairs[i%len(pairs)]
+			sinkDist = m.bidiDijkstra(pr[0], pr[1])
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := pairs[i%len(pairs)]
+			sinkDist = m.forwardDijkstra(pr[0], pr[1])
+		}
+	})
+	b.Run("alt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := pairs[i%len(pairs)]
+			sinkDist = m.astar(pr[0], pr[1], lm)
+		}
+	})
+}
+
+// BenchmarkManyToMany measures the bulk sweep at roughly the default
+// ccabench instance shape (|Q|=50 sources, |P|=2000 targets): one
+// matrix fill versus what would otherwise be |Q|·|P| point queries.
+func BenchmarkManyToMany(b *testing.B) {
+	net := datagen.NewNetwork(32, space, 2008)
+	m := FromNetwork(net)
+	sources := net.Points(datagen.Config{N: 50, Dist: datagen.Uniform, Seed: 12})
+	targets := net.Points(datagen.Config{N: 2000, Dist: datagen.Clustered, Seed: 13})
+	out := make([]float64, len(sources)*len(targets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = m.ManyToManyInto(sources, targets, out)
 	}
 }
 

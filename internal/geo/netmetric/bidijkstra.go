@@ -3,19 +3,27 @@ package netmetric
 import (
 	"math"
 	"sync"
-
-	"repro/internal/pqueue"
 )
 
-// bidiScratch is the pooled label state of one bidirectional Dijkstra:
+// This file keeps the pre-ALT point-query search: plain bidirectional
+// Dijkstra. It is no longer on any default path — point queries run the
+// forward-canonical searches in search.go (see the semantics note there)
+// — but it survives as the honest benchmark baseline: the BENCH_net.json
+// speedup rows and the cross-check fuzz compare against it via
+// SetLegacyBidi. Its result can differ from the canonical value in the
+// last ulps (it sums a forward and a backward partial), which is exactly
+// why it cannot serve the byte-identity conformance suite.
+
+// bidiScratch is the pooled label state of one bidirectional search:
 // forward and backward distance labels with settled marks, epoch-stamped
-// so reuse pays no O(V) re-initialization.
+// so reuse pays no O(V) re-initialization. The heaps are flat nheaps
+// (no per-push allocation), so a warm query allocates nothing.
 type bidiScratch struct {
 	epoch  int64
 	dist   [2][]float64
 	seenAt [2][]int64
 	doneAt [2][]int64
-	heap   [2]pqueue.Heap[int32]
+	heap   [2]nheap
 }
 
 var bidiPool = sync.Pool{New: func() any { return &bidiScratch{} }}
@@ -28,7 +36,7 @@ func (s *bidiScratch) reset(n int) {
 			s.seenAt[side] = append(s.seenAt[side], 0)
 			s.doneAt[side] = append(s.doneAt[side], 0)
 		}
-		s.heap[side].Clear()
+		s.heap[side].clear()
 	}
 }
 
@@ -41,6 +49,14 @@ func (s *bidiScratch) label(side int, v int32) float64 {
 	}
 	return math.Inf(1)
 }
+
+// SetLegacyBidi switches point queries to the pre-ALT plain
+// bidirectional Dijkstra. Benchmark-only: the returned distances agree
+// with the canonical backends to within a few ulps but are not
+// byte-identical, so never mix modes on one metric instance (the
+// node-pair cache would blend the two semantics). Like SetLandmarks it
+// must run during setup, before the metric is shared across goroutines.
+func (m *NetworkMetric) SetLegacyBidi(on bool) { m.legacyBidi = on }
 
 // bidiDijkstra returns the shortest-path distance from src to dst by
 // growing Dijkstra balls from both endpoints and stopping when the two
@@ -56,26 +72,25 @@ func (m *NetworkMetric) bidiDijkstra(src, dst int32) float64 {
 		v := start[side]
 		s.dist[side][v] = 0
 		s.seenAt[side][v] = s.epoch
-		s.heap[side].Push(v, 0)
+		s.heap[side].push(0, v)
 	}
 	best := math.Inf(1)
 	for {
-		topF, topB := s.heap[0].Peek(), s.heap[1].Peek()
-		if topF == nil && topB == nil {
+		fKey, bKey := math.Inf(1), math.Inf(1)
+		if !s.heap[0].empty() {
+			fKey = s.heap[0].top().key
+		}
+		if !s.heap[1].empty() {
+			bKey = s.heap[1].top().key
+		}
+		if math.IsInf(fKey, 1) && math.IsInf(bKey, 1) {
 			break
 		}
-		fKey, bKey := math.Inf(1), math.Inf(1)
-		if topF != nil {
-			fKey = topF.Key()
-		}
-		if topB != nil {
-			bKey = topB.Key()
-		}
 		// Termination: every undiscovered meeting point costs at least
-		// the sum of the two frontier minima. (When one search has
+		// the sum of the two frontier minima. When one search has
 		// exhausted its heap the sum is +Inf and we stop: an exhausted
 		// side has settled everything reachable from its endpoint, so
-		// best is already exact — or the endpoints are disconnected.)
+		// best is already exact — or the endpoints are disconnected.
 		if fKey+bKey >= best {
 			break
 		}
@@ -84,12 +99,12 @@ func (m *NetworkMetric) bidiDijkstra(src, dst int32) float64 {
 		if bKey < fKey {
 			side = 1
 		}
-		top := s.heap[side].Pop()
-		v, dv := top.Value, top.Key()
+		v := s.heap[side].pop().v
 		if s.done(side, v) {
 			continue // stale entry from lazy decrease-key
 		}
 		s.doneAt[side][v] = s.epoch
+		dv := s.dist[side][v]
 		other := 1 - side
 		for _, a := range m.adj[v] {
 			nd := dv + a.length
@@ -97,7 +112,7 @@ func (m *NetworkMetric) bidiDijkstra(src, dst int32) float64 {
 				s.dist[side][a.to] = nd
 				s.seenAt[side][a.to] = s.epoch
 				// Lazy decrease-key: push a fresh entry, skip stale pops.
-				s.heap[side].Push(a.to, nd)
+				s.heap[side].push(nd, a.to)
 			}
 			// Meeting point: settled-or-labeled on the other side.
 			if s.seen(other, a.to) {

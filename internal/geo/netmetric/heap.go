@@ -1,0 +1,56 @@
+package netmetric
+
+// nheap is a flat, slice-backed binary min-heap keyed by float64. The
+// shortest-path scratch uses it instead of pqueue.Heap because Push
+// there allocates one node per call; nheap appends into a reusable
+// backing array, so a pooled scratch reaches zero steady-state
+// allocations per query (asserted by the AllocsPerRun budget tests).
+// Decrease-key is lazy: callers push fresh entries and skip stale pops.
+type nheap struct {
+	a []nhEntry
+}
+
+type nhEntry struct {
+	key float64
+	v   int32
+}
+
+func (h *nheap) clear()       { h.a = h.a[:0] }
+func (h *nheap) empty() bool  { return len(h.a) == 0 }
+func (h *nheap) top() nhEntry { return h.a[0] }
+
+func (h *nheap) push(key float64, v int32) {
+	h.a = append(h.a, nhEntry{key: key, v: v})
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].key <= h.a[i].key {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *nheap) pop() nhEntry {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.a[r].key < h.a[c].key {
+			c = r
+		}
+		if h.a[i].key <= h.a[c].key {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
+}

@@ -38,6 +38,7 @@ package netmetric
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/lru"
@@ -115,6 +116,15 @@ type NetworkMetric struct {
 
 	grid snapGrid
 
+	// ALT landmark state, built lazily on first shortest-path query
+	// (see landmarks.go). lmCount is the configured landmark count;
+	// 0 disables ALT pruning. legacyBidi reroutes point queries to the
+	// pre-ALT bidirectional Dijkstra (benchmark baseline only).
+	lmCount    int
+	lmOnce     *sync.Once
+	lm         *landmarkState
+	legacyBidi bool
+
 	nodeCache *lru.Sharded[[2]int32, float64]
 	snapCache *lru.Sharded[geo.Point, snapPos]
 }
@@ -132,6 +142,8 @@ func New(nodes []geo.Point, edges [][2]int32) (*NetworkMetric, error) {
 	m := &NetworkMetric{
 		nodes:     append([]geo.Point(nil), nodes...),
 		realEdges: len(edges),
+		lmCount:   DefaultLandmarks,
+		lmOnce:    new(sync.Once),
 		nodeCache: lru.NewSharded[[2]int32, float64](DefaultNodeCacheSize, cacheShards),
 		snapCache: lru.NewSharded[geo.Point, snapPos](DefaultSnapCacheSize, cacheShards),
 	}
@@ -227,9 +239,14 @@ func (m *NetworkMetric) SnapNode(p geo.Point) int32 {
 }
 
 // NodeDist returns the shortest-path distance between two network nodes.
-// It panics on out-of-range indexes. Node distances are a true metric on
-// the node set: symmetric, non-negative, zero on the diagonal, and
-// triangle-inequality consistent.
+// It panics on out-of-range indexes. Node distances are a metric on the
+// node set: non-negative, zero on the diagonal, symmetric and
+// triangle-inequality consistent up to float rounding. The returned
+// float is canonical per *ordered* pair — the fixed point of forward
+// relaxation from a (see search.go) — so NodeDist(a,b) and NodeDist(b,a)
+// may differ in the last ulps; every backend (plain, ALT, bulk table)
+// agrees byte-for-byte on the oriented value, which is what the
+// conformance suite pins.
 func (m *NetworkMetric) NodeDist(a, b int32) float64 {
 	if a < 0 || int(a) >= len(m.nodes) || b < 0 || int(b) >= len(m.nodes) {
 		panic(fmt.Sprintf("netmetric: NodeDist(%d, %d) out of range [0,%d)", a, b, len(m.nodes)))
@@ -276,22 +293,36 @@ func (m *NetworkMetric) snap(p geo.Point) snapPos {
 	return s
 }
 
-// nodeDist resolves a node-pair distance through the cache, computing a
-// bidirectional Dijkstra on a miss.
+// nodeDist resolves an oriented node-pair distance through the cache,
+// running a point search on a miss. The cache key is the ordered pair:
+// the canonical a→b value differs from b→a in the last ulps, and every
+// caller orients consistently (provider side first), so the directed
+// key costs little extra cache pressure.
 func (m *NetworkMetric) nodeDist(a, b int32) float64 {
 	if a == b {
 		return 0
-	}
-	if a > b {
-		a, b = b, a
 	}
 	key := [2]int32{a, b}
 	if d, ok := m.nodeCache.Get(key); ok {
 		return d
 	}
-	d := m.bidiDijkstra(a, b)
+	d := m.searchDist(a, b)
 	m.nodeCache.Put(key, d)
 	return d
+}
+
+// searchDist runs one cold point query a→b with the configured backend:
+// ALT A* when landmarks are enabled (the default), plain forward
+// Dijkstra when disabled, or the legacy bidirectional baseline when
+// benchmarking. The first two return the identical canonical float.
+func (m *NetworkMetric) searchDist(a, b int32) float64 {
+	if m.legacyBidi {
+		return m.bidiDijkstra(a, b)
+	}
+	if lm := m.landmarks(); lm != nil {
+		return m.astar(a, b, lm)
+	}
+	return m.forwardDijkstra(a, b)
 }
 
 // projectOntoSegment returns the parameter t ∈ [0,1] and position of the

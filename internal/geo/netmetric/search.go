@@ -1,0 +1,134 @@
+package netmetric
+
+import (
+	"math"
+	"sync"
+)
+
+// Canonical float semantics. Every shortest-path backend in this package
+// — the plain forward Dijkstra, the ALT-pruned A*, and the bulk
+// many-to-many sweeps — returns the *same* float64 for a node pair:
+// the minimum over all src→dst paths of the left-associated float sum of
+// edge lengths (the fixed point of forward relaxation from src). That
+// value is well defined in float arithmetic because float addition of a
+// non-negative length is monotone (x+l >= x), so Dijkstra's settle order
+// cannot change it. Pinning one canonical semantics is what lets the
+// conformance suite assert byte-identical solves whether distances come
+// from plain Dijkstra, ALT, or a precomputed table — the three would
+// otherwise differ in the last ulps (float addition is not associative,
+// so e.g. a bidirectional search, which adds a forward and a backward
+// partial, rounds differently). The pre-ALT bidirectional search is kept
+// in bidijkstra.go as the benchmark baseline only.
+
+// searchScratch is the pooled label state of one single-sided search:
+// distance labels epoch-stamped so reuse pays no O(V) re-initialization,
+// plus a flat nheap (no per-push allocation). A warm point query
+// allocates nothing (asserted by TestAllocsPointQuery).
+type searchScratch struct {
+	epoch  int64
+	dist   []float64
+	seenAt []int64
+	heap   nheap
+}
+
+var searchPool = sync.Pool{New: func() any { return &searchScratch{} }}
+
+func (s *searchScratch) reset(n int) {
+	s.epoch++
+	for len(s.dist) < n {
+		s.dist = append(s.dist, 0)
+		s.seenAt = append(s.seenAt, 0)
+	}
+	s.heap.clear()
+}
+
+func (s *searchScratch) label(v int32) float64 {
+	if s.seenAt[v] == s.epoch {
+		return s.dist[v]
+	}
+	return math.Inf(1)
+}
+
+func (s *searchScratch) improve(v int32, d float64) {
+	s.dist[v] = d
+	s.seenAt[v] = s.epoch
+}
+
+// forwardDijkstra returns the canonical src→dst distance with plain
+// forward Dijkstra. The early exit at dst's settle is exact, not
+// heuristic: every later relaxation starts from a label >= dist[dst]
+// and adds a non-negative length, so no improvement can follow.
+func (m *NetworkMetric) forwardDijkstra(src, dst int32) float64 {
+	s := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(s)
+	s.reset(len(m.nodes))
+
+	s.improve(src, 0)
+	s.heap.push(0, src)
+	for !s.heap.empty() {
+		e := s.heap.pop()
+		if e.key > s.dist[e.v] {
+			continue // stale entry from lazy decrease-key
+		}
+		if e.v == dst {
+			return e.key
+		}
+		for _, a := range m.adj[e.v] {
+			if nd := e.key + a.length; nd < s.label(a.to) {
+				s.improve(a.to, nd)
+				s.heap.push(nd, a.to)
+			}
+		}
+	}
+	return math.Inf(1) // unreachable: bridges keep the graph connected
+}
+
+// altSlack is the termination margin of the ALT search. The landmark
+// potential is consistent in real arithmetic but can violate consistency
+// by a few ulps in float64, so an expanded node's label may still
+// improve later; stopping only once the frontier minimum exceeds the
+// best dst label by this margin (vastly larger than any accumulated
+// rounding error at the workloads' coordinate scale, vanishingly small
+// against real distances) guarantees the returned label is the same
+// canonical fixed point forwardDijkstra computes — byte-identical, as
+// TestALTMatchesPlainDijkstra asserts.
+const altSlack = 1e-6
+
+// astar returns the canonical src→dst distance with an ALT-pruned A*:
+// heap keys carry the goal-directed potential π(v) = lb(v,dst), turning
+// the search into Dijkstra over reduced weights aimed at dst. Distance
+// labels always hold true (unshifted) distances; only heap order moves.
+// Nodes are never marked settled — a label improved after its first
+// expansion (possible only through ulp-level potential inconsistency)
+// is simply re-expanded, and the altSlack termination bound makes the
+// result exact.
+func (m *NetworkMetric) astar(src, dst int32, lm *landmarkState) float64 {
+	s := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(s)
+	s.reset(len(m.nodes))
+
+	s.improve(src, 0)
+	s.heap.push(lm.lbNodes(src, dst), src)
+	best := math.Inf(1) // dist[dst]; π(dst) = 0, so its key is its label
+	for !s.heap.empty() {
+		e := s.heap.pop()
+		if e.key >= best+altSlack {
+			break // no remaining entry can improve dst's label
+		}
+		dv := s.dist[e.v]
+		if e.key > dv+lm.lbNodes(e.v, dst) {
+			continue // stale entry from lazy decrease-key
+		}
+		for _, a := range m.adj[e.v] {
+			nd := dv + a.length
+			if nd < s.label(a.to) {
+				s.improve(a.to, nd)
+				if a.to == dst {
+					best = nd
+				}
+				s.heap.push(nd+lm.lbNodes(a.to, dst), a.to)
+			}
+		}
+	}
+	return best
+}

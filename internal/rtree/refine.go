@@ -12,12 +12,17 @@ import (
 // non-Euclidean backends — e.g. road-network shortest-path distance).
 //
 // It is the filter-and-refine step of spatial query processing: the base
-// source streams candidates keyed by the cheap lower bound; each is
-// re-keyed by its true metric distance on a per-query refinement heap;
-// a candidate is emitted once its true distance is no greater than the
-// lower bound of every candidate the base source has not yet produced.
-// Because the base emits in ascending Euclidean order, that bound is
-// simply the Euclidean key of the most recent candidate.
+// source streams candidates keyed by the cheap lower bound; each lands
+// on a per-query refinement heap keyed by the best cheap lower bound
+// available — the metric's geo.LowerBounder when it implements one
+// (the network metric's ALT landmark bound), the Euclidean distance
+// otherwise. The true metric distance is computed lazily, only when a
+// candidate surfaces at the top of the heap; a candidate is emitted once
+// its true distance is no greater than the lower bound of every
+// candidate the base source has not yet produced (the Euclidean key of
+// the most recent base candidate) and of everything still on the heap.
+// Tight bounds therefore shrink both the refinement frontier and the
+// number of exact Dist evaluations.
 //
 // Wrapping the shared ANN search (§3.4.2) preserves its I/O sharing: the
 // refinement heaps sit on top of whatever page traversal the base does.
@@ -25,9 +30,17 @@ type RefinedNN struct {
 	base      NNSource
 	queries   []geo.Point
 	metric    geo.Metric
-	res       []pqueue.Heap[Item] // refinement heap per query, keyed by true distance
-	lastLB    []float64           // last lower bound the base reported per query
+	lb        func(p, q geo.Point) float64
+	res       []pqueue.Heap[refEntry] // refinement heap per query
+	lastLB    []float64               // last lower bound the base reported per query
 	exhausted []bool
+}
+
+// refEntry is one refinement-heap candidate: exact marks whether its
+// key is the true metric distance or still a lower bound.
+type refEntry struct {
+	item  Item
+	exact bool
 }
 
 // NewRefinedNN wraps base, re-keying its stream by metric distance. base
@@ -39,7 +52,8 @@ func NewRefinedNN(base NNSource, queries []geo.Point, metric geo.Metric) *Refine
 		base:      base,
 		queries:   queries,
 		metric:    metric,
-		res:       make([]pqueue.Heap[Item], len(queries)),
+		lb:        geo.LowerBoundOf(metric),
+		res:       make([]pqueue.Heap[refEntry], len(queries)),
 		lastLB:    make([]float64, len(queries)),
 		exhausted: make([]bool, len(queries)),
 	}
@@ -52,9 +66,19 @@ func (s *RefinedNN) Next(qi int) (Item, float64, bool, error) {
 	for {
 		if top := h.Peek(); top != nil && (s.exhausted[qi] || top.Key() <= s.lastLB[qi]) {
 			// Every unseen candidate has metric distance >= its Euclidean
-			// distance >= lastLB >= top's true distance: top is final.
-			it := h.Pop()
-			return it.Value, it.Key(), true, nil
+			// distance >= lastLB, and every heap key underestimates its
+			// candidate's true distance — so once top's key is exact and
+			// within the bound, top is final.
+			if top.Value.exact {
+				it := h.Pop()
+				return it.Value.item, it.Key(), true, nil
+			}
+			// Resolve the surfacing candidate to its true distance in
+			// place; it re-seats and may lose the top to a candidate
+			// with a smaller bound.
+			top.Value.exact = true
+			h.Update(top, s.metric.Dist(s.queries[qi], top.Value.item.Pt))
+			continue
 		}
 		if s.exhausted[qi] {
 			return Item{}, 0, false, nil
@@ -68,7 +92,7 @@ func (s *RefinedNN) Next(qi int) (Item, float64, bool, error) {
 			continue
 		}
 		s.lastLB[qi] = lb
-		h.Push(item, s.metric.Dist(s.queries[qi], item.Pt))
+		h.Push(refEntry{item: item}, s.lb(s.queries[qi], item.Pt))
 	}
 }
 

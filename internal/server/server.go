@@ -114,10 +114,14 @@ type Server struct {
 	stats counters
 }
 
-// netKey identifies a synthetic road network.
+// netKey identifies a synthetic road network and its ALT landmark
+// configuration. Landmark preprocessing mutates the metric (per-landmark
+// distance vectors), so two requests with different landmark counts
+// cannot share one instance; the count is part of the identity.
 type netKey struct {
-	grid int
-	seed int64
+	grid      int
+	seed      int64
+	landmarks int // resolved count: 0 = landmark pruning disabled
 }
 
 // netEntry is one network's lazily built metric.
@@ -130,9 +134,11 @@ type netEntry struct {
 // metric returns the entry's metric, building it on first use (outside
 // any map lock). The build cannot fail: the grid was validated before
 // the entry was created.
-func (e *netEntry) metric(grid int, seed int64) *netmetric.NetworkMetric {
+func (e *netEntry) metric(key netKey) *netmetric.NetworkMetric {
 	e.once.Do(func() {
-		e.m = cca.RoadNetworkMetric(grid, netSpace, seed).(*netmetric.NetworkMetric)
+		m := cca.RoadNetworkMetric(key.grid, netSpace, key.seed).(*netmetric.NetworkMetric)
+		m.SetLandmarks(key.landmarks)
+		e.m = m
 		e.done.Store(true)
 	})
 	return e.m
@@ -248,20 +254,33 @@ func (s *Server) acquire(w http.ResponseWriter, sem chan struct{}) (release func
 // two caches for the life of the process (and one /metrics label set),
 // so the memo itself is bounded too.
 const (
-	MinNetGrid  = 2
-	MaxNetGrid  = 256
-	MaxNetworks = 8
+	MinNetGrid      = 2
+	MaxNetGrid      = 256
+	MaxNetworks     = 8
+	MaxNetLandmarks = 64
 )
 
-// networkMetric returns the shared road-network metric for (grid, seed),
-// building it on first use. Concurrent requests for the same cold
-// network share one build, and the build never blocks the map lock (so
-// other networks' requests and /metrics scrapes proceed meanwhile).
-func (s *Server) networkMetric(grid int, seed int64) (*netmetric.NetworkMetric, error) {
+// networkMetric returns the shared road-network metric for (grid, seed,
+// landmarks), building it on first use. Concurrent requests for the
+// same cold network share one build, and the build never blocks the map
+// lock (so other networks' requests and /metrics scrapes proceed
+// meanwhile). landmarks carries the wire encoding: 0 selects the
+// default count, -1 disables landmark pruning, positive values pick an
+// explicit count (each landmark costs one SSSP at build plus one O(V)
+// distance vector for the life of the process, hence the bound).
+func (s *Server) networkMetric(grid int, seed int64, landmarks int) (*netmetric.NetworkMetric, error) {
 	if grid < MinNetGrid || grid > MaxNetGrid {
 		return nil, fmt.Errorf("net_grid %d out of range [%d, %d]", grid, MinNetGrid, MaxNetGrid)
 	}
-	key := netKey{grid: grid, seed: seed}
+	switch {
+	case landmarks == 0:
+		landmarks = netmetric.DefaultLandmarks
+	case landmarks == -1:
+		landmarks = 0
+	case landmarks < -1 || landmarks > MaxNetLandmarks:
+		return nil, fmt.Errorf("net_landmarks %d out of range [-1, %d]", landmarks, MaxNetLandmarks)
+	}
+	key := netKey{grid: grid, seed: seed, landmarks: landmarks}
 	s.netMu.Lock()
 	e, ok := s.netMetrics[key]
 	if !ok {
@@ -273,7 +292,7 @@ func (s *Server) networkMetric(grid int, seed int64) (*netmetric.NetworkMetric, 
 		s.netMetrics[key] = e
 	}
 	s.netMu.Unlock()
-	return e.metric(grid, seed), nil
+	return e.metric(key), nil
 }
 
 // netSpace is the normalized data space of the paper's evaluation

@@ -245,6 +245,7 @@ func (s *Server) prepare(ctx context.Context, idx int, wi client.Instance) *prep
 		opts.Core.DisableTheorem2 = o.DisableTheorem2
 		opts.Core.DisableANN = o.DisableANN
 		opts.Core.ANNGroupSize = o.ANNGroupSize
+		opts.Core.DistTable = o.DistTable
 	}
 	switch strings.ToLower(wi.Metric) {
 	case "", "euclidean":
@@ -256,7 +257,7 @@ func (s *Server) prepare(ctx context.Context, idx int, wi client.Instance) *prep
 		if seed == 0 {
 			seed = 2008
 		}
-		m, err := s.networkMetric(grid, seed)
+		m, err := s.networkMetric(grid, seed, wi.NetLandmarks)
 		if err != nil {
 			return fail("%v", err)
 		}

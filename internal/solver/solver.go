@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
 	"repro/internal/rtree"
 )
 
@@ -167,13 +169,53 @@ func (s *funcSolver) Solve(ctx context.Context, providers []core.Provider, data 
 	if opts.Core.Ctx == nil {
 		opts.Core.Ctx = ctx
 	}
+	// Bulk distance precompute: every solver evaluates P×C metric
+	// distances, so for network metrics the registry pre-resolves a
+	// provider-sourced table here — once, at the choke point all
+	// callers (CLIs, expr, cca.Engine, the sharded meta-solver's outer
+	// solve) pass through. Inner sharded sub-solves arrive with the
+	// *netmetric.Table already in place and skip the rewrap.
+	buildWall := withDistTable(providers, data, &opts)
 	res, err := s.fn(providers, data, opts)
 	if err != nil {
 		return nil, err
 	}
+	// The table build ran outside the algorithm's own timers; charge it
+	// to the solve's CPU time so the precompute cannot hide from the
+	// benchmarks it is supposed to win.
+	res.Metrics.CPUTime += buildWall
 	res.Solver = s.name
 	res.Kind = s.kind
 	return res, nil
+}
+
+// distTableMinPairs gates the bulk precompute: below this many
+// provider×customer pairs the point-query path (with its warm caches)
+// wins, and the sweeps would dominate the solve.
+const distTableMinPairs = 1 << 12
+
+// withDistTable swaps opts' metric for a provider-sourced bulk distance
+// table (netmetric.Table) when the metric is a road network, the
+// precompute is enabled (core.Options.DistTable >= 0) and the instance
+// is large enough to amortize the sweeps. Results are byte-identical
+// either way — the table returns the same canonical floats as point
+// queries — so this is purely a performance decision. Returns the wall
+// time the build consumed (0 when skipped or declined over budget).
+func withDistTable(providers []core.Provider, data Dataset, opts *Options) time.Duration {
+	nm, ok := opts.Core.Metric.(*netmetric.NetworkMetric)
+	if !ok || opts.Core.DistTable < 0 || len(providers) == 0 ||
+		len(providers)*data.Len() < distTableMinPairs {
+		return 0
+	}
+	start := time.Now()
+	pts := make([]geo.Point, len(providers))
+	for i := range providers {
+		pts[i] = providers[i].Pt
+	}
+	if t := nm.BuildTable(pts, opts.Core.DistTable); t != nil {
+		opts.Core.Metric = t
+	}
+	return time.Since(start)
 }
 
 // New builds a Solver from a function; doc is a one-line description

@@ -230,6 +230,9 @@ func (e *Engine) resultKeyFor(canonical string, in Instance) (resultKey, bool) {
 	// on purpose: it only alters wall-clock time (the sharded merge is
 	// deterministic across worker counts — pinned by the determinism
 	// suite), so instances differing only in it share a cache entry.
+	// DistTable is omitted for the same reason: the bulk distance table
+	// returns byte-identical values to point queries (pinned by the
+	// network-backend conformance suite), so it never changes results.
 	put64(uint64(int64(o.Core.Shards)))
 	putF(o.Core.ShardBoundary)
 
