@@ -174,6 +174,11 @@ type StreamEnvelope struct {
 // Euclidean distance (the incremental matcher's setting).
 type SessionRequest struct {
 	Providers []Provider `json:"providers"`
+	// ReoptBudget bounds the repair work amortized per churn event
+	// (departures and resizes): at most this many improving cycle
+	// cancels run before the event returns, deferring the rest. 0 (the
+	// default) means unlimited — every event leaves the exact optimum.
+	ReoptBudget int `json:"reopt_budget,omitempty"`
 }
 
 // SessionInfo describes a created session.
@@ -198,6 +203,38 @@ type ArriveResponse struct {
 	Size     int     `json:"size"`
 	Cost     float64 `json:"cost"`
 	Arrivals int     `json:"arrivals"`
+}
+
+// DepartRequest is the body of POST /v1/sessions/{id}/depart.
+type DepartRequest struct {
+	ID int64 `json:"id"`
+}
+
+// DepartResponse reports a departure's effect. WasMatched says whether
+// the customer held a slot at the moment it left.
+type DepartResponse struct {
+	WasMatched bool    `json:"was_matched"`
+	Size       int     `json:"size"`
+	Cost       float64 `json:"cost"`
+	// Live is the number of customers still present.
+	Live int `json:"live"`
+}
+
+// ResizeRequest is the body of POST /v1/sessions/{id}/resize: set
+// provider Provider's capacity to Cap (>= 0; 0 takes the provider
+// offline, evicting and re-routing its assignees).
+type ResizeRequest struct {
+	Provider int `json:"provider"`
+	Cap      int `json:"cap"`
+}
+
+// ResizeResponse reports a resize's effect on the matching and the
+// session's total capacity.
+type ResizeResponse struct {
+	Size int     `json:"size"`
+	Cost float64 `json:"cost"`
+	// Capacity is the new Γ = Σ provider capacities.
+	Capacity int `json:"capacity"`
 }
 
 // MatchingResponse is the body of GET /v1/sessions/{id}/matching.

@@ -176,6 +176,29 @@ func (c *Client) Arrive(ctx context.Context, sessionID string, req ArriveRequest
 	return &out, nil
 }
 
+// Depart removes a previously arrived customer from a session,
+// releasing its slot and repairing the matching. Departing an unknown
+// or already-departed id is an *APIError with status 404.
+func (c *Client) Depart(ctx context.Context, sessionID string, req DepartRequest) (*DepartResponse, error) {
+	var out DepartResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/depart", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Resize changes one provider's capacity in a session. Shrinking below
+// current usage evicts and re-routes assignees; growing admits waiting
+// customers. A provider index out of range is an *APIError with status
+// 404, a negative capacity one with status 400.
+func (c *Client) Resize(ctx context.Context, sessionID string, req ResizeRequest) (*ResizeResponse, error) {
+	var out ResizeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/resize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Matching returns a session's current optimal matching.
 func (c *Client) Matching(ctx context.Context, sessionID string) (*MatchingResponse, error) {
 	var out MatchingResponse

@@ -1,6 +1,7 @@
 // Command benchgate is the CI perf-regression gate over the committed
-// bench trajectories (BENCH_shard.json, BENCH_net.json, and the
-// BENCH_serve.json serve rows). It reads each trajectory, compares the
+// bench trajectories (BENCH_shard.json, BENCH_net.json,
+// BENCH_churn.json, and the BENCH_serve.json serve rows). It reads
+// each trajectory, compares the
 // latest run against its baseline run, and exits non-zero when either
 //
 //   - a deterministic field drifted — Cost beyond float round-trip
@@ -19,11 +20,16 @@
 // The net sweep additionally carries an absolute floor: the distance
 // table must keep a >= 3x cold-solve speedup over the legacy
 // bidirectional-Dijkstra baseline — the ratio the optimization was
-// merged on (see BENCH_net.json).
+// merged on (see BENCH_net.json). The churn sweep carries absolute
+// invariants of its own: the unlimited-budget row must track the full
+// re-solve oracle exactly, every budgeted row's worst observed drift
+// must stay under the documented 10% ceiling, and all rows must agree
+// on matching size (re-opt budgets defer cost repair, never
+// augmentation).
 //
 // Usage:
 //
-//	benchgate [-tol 0.15] BENCH_net.json BENCH_shard.json BENCH_serve.json
+//	benchgate [-tol 0.15] BENCH_net.json BENCH_shard.json BENCH_serve.json BENCH_churn.json
 //
 // A trajectory with a single run gates only its internal invariants
 // (determinism across rows, the net floor); appended runs — ccabench
@@ -66,6 +72,13 @@ type serveRow struct {
 // netFloorSpeedup is the absolute invariant of the net sweep: the
 // "table" backend's cold-solve speedup over the "bidi" baseline row.
 const netFloorSpeedup = 3.0
+
+// churnDriftCeiling is the documented drift bound of the churn sweep:
+// no re-opt budget >= 1 may let the incremental matching's cost drift
+// beyond 10% of the full re-solve optimum at any oracle check (README
+// "Online matching"; internal/core pins the same constant in its
+// conformance suite).
+const churnDriftCeiling = 0.10
 
 func main() {
 	tol := flag.Float64("tol", 0.15, "allowed relative regression of any normalized CPU ratio")
@@ -149,8 +162,14 @@ func baselineFor(runs []run, cand run) (run, bool) {
 
 // gateInternal checks one run's own invariants: the net sweep's
 // backend rows must agree on the matching (same Size; Cost equal to
-// float round-trip noise) and hold the table-speedup floor.
+// float round-trip noise) and hold the table-speedup floor; the churn
+// sweep's budget rows must agree on matching size (augmentation is
+// never budgeted), its exact row must show no drift, and every
+// budgeted row must hold the drift ceiling.
 func gateInternal(name string, rows []expr.Row) []string {
+	if name == "churn" {
+		return gateChurn(rows)
+	}
 	var msgs []string
 	if name != "net" {
 		return nil
@@ -177,6 +196,36 @@ func gateInternal(name string, rows []expr.Row) []string {
 	if okB && okT && tab.CPU > 0 {
 		if speedup := float64(bidi.CPU) / float64(tab.CPU); speedup < netFloorSpeedup {
 			msgs = append(msgs, fmt.Sprintf("net: table speedup %.2fx over bidi below the %.0fx floor", speedup, netFloorSpeedup))
+		}
+	}
+	return msgs
+}
+
+// gateChurn checks the churn sweep's internal invariants (Quality
+// carries each row's worst observed drift vs the periodic full
+// re-solve oracle).
+func gateChurn(rows []expr.Row) []string {
+	var msgs []string
+	var exact *expr.Row
+	for i := range rows {
+		if rows[i].Label == "exact" {
+			exact = &rows[i]
+			break
+		}
+	}
+	if exact == nil {
+		return []string{"churn: no exact (budget 0) row"}
+	}
+	if exact.Quality > 1e-9 {
+		msgs = append(msgs, fmt.Sprintf("churn: exact row drifted %.3g from the oracle (must be 0)", exact.Quality))
+	}
+	for _, r := range rows {
+		if r.Quality > churnDriftCeiling {
+			msgs = append(msgs, fmt.Sprintf("churn: %s drift %.4f exceeds the %.2f ceiling", r.Label, r.Quality, churnDriftCeiling))
+		}
+		if r.Size != exact.Size {
+			msgs = append(msgs, fmt.Sprintf("churn: %s size %d != exact size %d (matching must stay maximum under any budget)",
+				r.Label, r.Size, exact.Size))
 		}
 	}
 	return msgs

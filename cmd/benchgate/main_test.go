@@ -28,7 +28,7 @@ func repoFile(t *testing.T, name string) string {
 // trajectories: whatever is checked in must pass its own gate, or CI
 // would be red on an untouched tree.
 func TestCommittedBaselinesPass(t *testing.T) {
-	for _, name := range []string{"BENCH_net.json", "BENCH_shard.json", "BENCH_serve.json"} {
+	for _, name := range []string{"BENCH_net.json", "BENCH_shard.json", "BENCH_serve.json", "BENCH_churn.json"} {
 		if msgs := gateFile(repoFile(t, name), 0.15); len(msgs) > 0 {
 			t.Errorf("%s: committed baseline fails its own gate: %v", name, msgs)
 		}
@@ -167,6 +167,74 @@ func TestSpeedupFloor(t *testing.T) {
 	}
 	if !containsAll(msgs, "floor") {
 		t.Errorf("findings do not mention the floor: %v", msgs)
+	}
+}
+
+// churnRows is a healthy churn figure: exact row driftless, budget
+// rows under the ceiling, all sizes equal.
+func churnRows() []expr.Row {
+	return []expr.Row{
+		{Label: "exact", Algo: "dynamic", CPU: 80 * time.Millisecond, Cost: 5010.7, Size: 21, Quality: 3e-16, Esub: 120, KeyUpd: 300},
+		{Label: "budget=1", Algo: "dynamic", CPU: 60 * time.Millisecond, Cost: 5010.7, Size: 21, Quality: 0.004, Esub: 100, KeyUpd: 300, Faults: 90},
+		{Label: "budget=8", Algo: "dynamic", CPU: 70 * time.Millisecond, Cost: 5010.7, Size: 21, Quality: 0.001, Esub: 118, KeyUpd: 300, Faults: 2},
+	}
+}
+
+// TestChurnGatePasses: a healthy churn run has no findings.
+func TestChurnGatePasses(t *testing.T) {
+	if msgs := gateChurn(churnRows()); len(msgs) > 0 {
+		t.Errorf("healthy churn rows rejected: %v", msgs)
+	}
+}
+
+// TestChurnDriftCeilingFails: a budgeted row drifting past the
+// documented 10% bound is a correctness regression, not noise.
+func TestChurnDriftCeilingFails(t *testing.T) {
+	rows := churnRows()
+	rows[1].Quality = 0.12
+	msgs := gateChurn(rows)
+	if len(msgs) == 0 {
+		t.Fatal("drift above the ceiling passed the gate")
+	}
+	if !containsAll(msgs, "budget=1", "ceiling") {
+		t.Errorf("findings do not name the drifted row: %v", msgs)
+	}
+}
+
+// TestChurnExactDriftFails: the unlimited-budget row must track the
+// oracle exactly — any drift there means the repair loop is broken.
+func TestChurnExactDriftFails(t *testing.T) {
+	rows := churnRows()
+	rows[0].Quality = 1e-4
+	msgs := gateChurn(rows)
+	if len(msgs) == 0 {
+		t.Fatal("exact-row drift passed the gate")
+	}
+	if !containsAll(msgs, "exact") {
+		t.Errorf("findings do not mention the exact row: %v", msgs)
+	}
+}
+
+// TestChurnSizeDivergenceFails: budgets bound only cost repair;
+// augmentation never defers, so sizes must agree across rows.
+func TestChurnSizeDivergenceFails(t *testing.T) {
+	rows := churnRows()
+	rows[2].Size = 20
+	msgs := gateChurn(rows)
+	if len(msgs) == 0 {
+		t.Fatal("size divergence passed the gate")
+	}
+	if !containsAll(msgs, "budget=8", "size") {
+		t.Errorf("findings do not name the diverged row: %v", msgs)
+	}
+}
+
+// TestChurnMissingExactRowFails: without the budget-0 reference the
+// figure cannot be gated at all.
+func TestChurnMissingExactRowFails(t *testing.T) {
+	rows := churnRows()[1:]
+	if msgs := gateChurn(rows); len(msgs) == 0 {
+		t.Fatal("churn figure without an exact row passed the gate")
 	}
 }
 

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", "shard", "net", or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 8..18, "ablation", "theta", "baselines", "index", "shard", "net", "churn", or "all"`)
 	scale := flag.Float64("scale", 0.05, "cardinality scale factor (1.0 = paper size)")
 	algos := flag.String("algos", "", "comma-separated solver names swept by the exact figures\n(default "+
 		strings.Join(expr.ExactAlgos(), ",")+"; registered: "+strings.Join(solver.Names(), ",")+")")
@@ -133,8 +133,9 @@ figure tables (-fig is ignored)`)
 		"index":     wrap("index", expr.IndexPolicy),
 		"shard":     wrap("shard", expr.ShardScaling),
 		"net":       wrap("net", expr.NetBackends),
+		"churn":     wrap("churn", expr.ChurnDrift),
 	}
-	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index", "shard", "net"}
+	order := []string{"8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "ablation", "theta", "baselines", "index", "shard", "net", "churn"}
 
 	var selected []string
 	if *fig == "all" {

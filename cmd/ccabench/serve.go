@@ -35,6 +35,8 @@ type serveRow struct {
 	Errors    int     `json:"errors"`
 	Retries   int     `json:"rejected_429_retries"`
 	Arrivals  int     `json:"session_arrivals"`
+	Departs   int     `json:"session_departures"`
+	Resizes   int     `json:"session_resizes"`
 	WallMS    float64 `json:"wall_ms"`
 	RPS       float64 `json:"rps"`
 	P50MS     float64 `json:"p50_ms"`
@@ -45,10 +47,11 @@ type serveRow struct {
 
 // runServe is the ccabench -serve load mode: boot an in-process ccad
 // server (real listener, real HTTP), fire -clients concurrent clients
-// mixing batch solves and session arrivals at it, and report the
-// latency/throughput trajectory. 429 backpressure responses are retried
-// (and counted) — the load mode deliberately runs hotter than the
-// admission bound to exercise shedding.
+// mixing batch solves and session churn (arrivals, departures, and
+// capacity resizes) at it, and report the latency/throughput
+// trajectory. 429 backpressure responses are retried (and counted) —
+// the load mode deliberately runs hotter than the admission bound to
+// exercise shedding.
 func runServe(scale float64, clients, requests, inflight int, jsonPath string) error {
 	nCustomers := int(4000 * scale)
 	if nCustomers < 100 {
@@ -109,6 +112,8 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 		errCount  int
 		retries   atomic.Int64
 		arrivals  atomic.Int64
+		departs   atomic.Int64
+		resizes   atomic.Int64
 		nextReq   atomic.Int64
 	)
 	start := time.Now()
@@ -117,12 +122,14 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 		wg.Add(1)
 		go func(cl int) {
 			defer wg.Done()
+			baseCap := requests/clients + 1
 			sess, err := c.NewSession(ctx, client.SessionRequest{Providers: []client.Provider{
-				{X: float64(50 + cl*97%900), Y: 500, Cap: requests/clients + 1},
+				{X: float64(50 + cl*97%900), Y: 500, Cap: baseCap},
 			}})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ccabench: client %d: session: %v\n", cl, err)
 			}
+			var live []int64 // arrived-and-not-departed ids, oldest first
 			for {
 				idx := int(nextReq.Add(1)) - 1
 				if idx >= requests {
@@ -155,10 +162,29 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 				}
 				mu.Unlock()
 				if sess != nil {
+					// Churn traffic between solves: arrive, depart the
+					// oldest once the client holds more than four live
+					// customers, and periodically wobble the provider's
+					// capacity — the full online event mix, not just
+					// arrivals.
 					if _, err := c.Arrive(ctx, sess.ID, client.ArriveRequest{
 						ID: int64(idx), X: pts[idx%len(pts)].X, Y: pts[idx%len(pts)].Y,
 					}); err == nil {
 						arrivals.Add(1)
+						live = append(live, int64(idx))
+					}
+					if len(live) > 4 {
+						if _, err := c.Depart(ctx, sess.ID, client.DepartRequest{ID: live[0]}); err == nil {
+							departs.Add(1)
+						}
+						live = live[1:]
+					}
+					if idx%8 == 7 {
+						if _, err := c.Resize(ctx, sess.ID, client.ResizeRequest{
+							Provider: 0, Cap: baseCap + idx%2,
+						}); err == nil {
+							resizes.Add(1)
+						}
 					}
 				}
 			}
@@ -187,6 +213,8 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 		Errors:    errCount,
 		Retries:   int(retries.Load()),
 		Arrivals:  int(arrivals.Load()),
+		Departs:   int(departs.Load()),
+		Resizes:   int(resizes.Load()),
 		WallMS:    float64(wall) / float64(time.Millisecond),
 		RPS:       float64(okCount) / wall.Seconds(),
 		P50MS:     pct(0.50),
@@ -197,8 +225,8 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 
 	fmt.Printf("serve load: %d clients × %d requests (%d customers each), admission %d\n",
 		clients, requests, nCustomers, inflight)
-	fmt.Printf("  ok %d, errors %d, 429 retries %d, session arrivals %d\n",
-		row.OK, row.Errors, row.Retries, row.Arrivals)
+	fmt.Printf("  ok %d, errors %d, 429 retries %d, session churn %d/%d/%d (arrive/depart/resize)\n",
+		row.OK, row.Errors, row.Retries, row.Arrivals, row.Departs, row.Resizes)
 	fmt.Printf("  wall %v, throughput %.1f req/s\n", wall.Round(time.Millisecond), row.RPS)
 	fmt.Printf("  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
 		row.P50MS, row.P90MS, row.P99MS, row.MaxMS)

@@ -5,32 +5,124 @@ import (
 	"repro/internal/geo"
 )
 
-// DynamicMatcher maintains a minimum-cost maximum matching as customers
-// arrive one by one — the incremental-assignment extension referenced by
-// the paper's related work ([11]) and future-work section. Each arrival
-// is handled with a single shortest augmenting path (or, once capacity
-// is exhausted, a single improving swap), so the matching after every
-// prefix of arrivals is exactly what the batch solver would compute.
+// Sentinel errors of the dynamic event API, for errors.Is branching.
+// The ccad session endpoints map them to HTTP 409 and 404.
+var (
+	// ErrDuplicateID rejects an arrival whose customer id was ever seen
+	// before in the session, including ids that have already departed.
+	ErrDuplicateID = core.ErrDuplicateID
+	// ErrUnknownID rejects a departure of an id that is not currently
+	// present, and a resize of a provider index out of range.
+	ErrUnknownID = core.ErrUnknownID
+)
+
+// DynamicOptions configures a DynamicMatcher beyond the zero-value
+// behavior (Euclidean metric, unlimited re-optimization, no periodic
+// oracle).
+type DynamicOptions struct {
+	// Metric is the distance backend (nil selects Euclidean).
+	Metric Metric
+	// ReoptBudget bounds the repair work amortized per event: after an
+	// event's mandatory fix-ups — the arrival's own augmenting path or
+	// swap, a departure's capacity release, a resize's evictions, and
+	// the augmentations that keep the matching maximum — at most this
+	// many negative residual cycles are canceled before the event
+	// returns; remaining debt carries to later events. 0 means
+	// unlimited: every event leaves a minimum-cost maximum matching.
+	// The matching stays feasible and maximum under any budget; only
+	// cost optimality drifts, which Stats tracks.
+	ReoptBudget int
+	// OracleEvery, when positive, re-solves the live instance from
+	// scratch every n events and records the cost drift in Stats. The
+	// oracle is a Bellman–Ford full solve — a measurement tool, not a
+	// production setting.
+	OracleEvery int
+}
+
+// ChurnStats counts a matcher's event history and the quality drift
+// its re-optimization budget allowed.
+type ChurnStats = core.ChurnStats
+
+// DynamicMatcher maintains a minimum-cost maximum matching under the
+// full churn model — customer arrivals and departures plus provider
+// capacity resizes — the incremental-assignment extension referenced
+// by the paper's related work ([11]) and future-work section. With an
+// unlimited re-opt budget the matching after every event is exactly
+// what the batch solver would compute on the live instance; with a
+// bounded budget it stays feasible and maximum while cost optimality
+// drifts within the repair debt the budget deferred.
 //
 // It holds the bipartite graph in memory and is meant for online,
-// moderate-|P| workloads; use Assign for the disk-resident batch setting.
+// moderate-|Q| workloads; use Assign for the disk-resident batch
+// setting.
 type DynamicMatcher struct {
 	m *core.DynamicMatcher
 }
 
-// NewDynamicMatcher starts an empty matching over the given providers.
+// NewDynamicMatcher starts an empty matching over the given providers
+// with default options (Euclidean, unlimited re-optimization).
 func NewDynamicMatcher(providers []Provider) *DynamicMatcher {
-	return &DynamicMatcher{m: core.NewDynamicMatcher(providers)}
+	return NewDynamicMatcherOpts(providers, DynamicOptions{})
 }
 
-// Arrive adds a customer and restores optimality. It reports whether the
-// customer is matched right now (later arrivals may re-route or evict
-// it).
+// NewDynamicMatcherOpts starts an empty matching with explicit
+// options. The provider slice is copied: ResizeProvider mutates the
+// matcher's view, never the caller's.
+func NewDynamicMatcherOpts(providers []Provider, opts DynamicOptions) *DynamicMatcher {
+	return &DynamicMatcher{m: core.NewDynamicMatcherOpts(providers, core.DynamicOptions{
+		Metric:      opts.Metric,
+		ReoptBudget: opts.ReoptBudget,
+		OracleEvery: opts.OracleEvery,
+	})}
+}
+
+// Arrive adds a customer and restores optimality. It reports whether
+// the customer is matched right now (later events may re-route or
+// evict it). Ids must be unique across the session; re-arriving a
+// departed id is ErrDuplicateID.
 func (d *DynamicMatcher) Arrive(pt Point, id int64) (bool, error) {
 	return d.m.Arrive(geo.Point{X: pt.X, Y: pt.Y}, id)
 }
 
-// Matching returns the current optimal matching.
+// Depart removes a previously arrived customer, releasing any provider
+// capacity it held, and repairs the matching. It returns whether the
+// customer was matched at the moment it left. Departing an id that is
+// not currently present is ErrUnknownID.
+func (d *DynamicMatcher) Depart(id int64) (bool, error) {
+	return d.m.Depart(id)
+}
+
+// ResizeProvider changes provider i's capacity. Shrinking below the
+// provider's current usage evicts its costliest assignments (the
+// evicted customers stay in the pool and are re-routed by the repair);
+// growing opens augmenting opportunities for waiting customers. An
+// index out of range is ErrUnknownID.
+func (d *DynamicMatcher) ResizeProvider(i, newCap int) error {
+	return d.m.ResizeProvider(i, newCap)
+}
+
+// Stats returns the event and repair counters accumulated so far.
+func (d *DynamicMatcher) Stats() ChurnStats { return d.m.Stats() }
+
+// Exact reports whether the current matching is known minimum-cost
+// (no repair debt outstanding from budgeted events).
+func (d *DynamicMatcher) Exact() bool { return d.m.Exact() }
+
+// Live returns the number of customers currently present.
+func (d *DynamicMatcher) Live() int { return d.m.Live() }
+
+// Capacity returns the current total provider capacity.
+func (d *DynamicMatcher) Capacity() int { return d.m.Capacity() }
+
+// ProviderCap returns provider i's current capacity (after resizes).
+func (d *DynamicMatcher) ProviderCap(i int) int { return d.m.ProviderCap(i) }
+
+// OracleDrift re-solves the live instance from scratch and returns the
+// relative cost drift of the incremental matching, recording it in
+// Stats. Zero (to float noise) whenever Exact.
+func (d *DynamicMatcher) OracleDrift() float64 { return d.m.OracleDrift() }
+
+// Matching returns the current matching.
 func (d *DynamicMatcher) Matching() *Result { return d.m.Matching() }
 
 // Size returns the current matching size.

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// FuzzDynamicChurn fuzzes full churn event streams — arrivals,
+// departures, capacity resizes (including shocks to zero) — under
+// fuzzed re-opt budgets, checking the invariants that must hold
+// regardless of budget:
+//
+//   - capacity conservation after every resize (no provider carries
+//     more than its current capacity);
+//   - no orphaned assignments after a departure (departed customers
+//     never appear in the matching, no customer is matched twice);
+//   - Size() and Cost() agree with a recount of the pair list, and
+//     every pair's distance is exactly what the metric says;
+//   - stats counters partition the event history;
+//   - duplicate-id arrivals and unknown-id departs/resizes fail with
+//     the sentinel errors and leave the matching untouched.
+//
+// The Bellman–Ford oracle is deliberately absent here (too slow for a
+// fuzz loop); optimality is the conformance suite's job.
+func FuzzDynamicChurn(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(60), uint8(0))
+	f.Add(int64(2), uint8(1), uint8(120), uint8(1))
+	f.Add(int64(3), uint8(12), uint8(200), uint8(3))
+	f.Add(int64(7), uint8(6), uint8(255), uint8(2))
+	f.Add(int64(11), uint8(2), uint8(30), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nqRaw, nRaw, budgetRaw uint8) {
+		nq := 1 + int(nqRaw)%12
+		n := int(nRaw)
+		budget := int(budgetRaw) % 4 // 0 = unlimited, 1..3 = tight budgets
+		rng := rand.New(rand.NewSource(seed))
+		providers := make([]Provider, nq)
+		for i := range providers {
+			providers[i] = Provider{
+				Pt:  geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				Cap: 1 + rng.Intn(4),
+			}
+		}
+		events := genChurnEvents(rng, n, nq, 5)
+
+		m := NewDynamicMatcherOpts(providers, DynamicOptions{ReoptBudget: budget})
+		o := newChurnMirror(providers)
+		departed := []int64{}
+		for step, ev := range events {
+			applyChurnEvent(t, m, o, ev)
+			if ev.kind == 1 {
+				departed = append(departed, ev.id)
+			}
+			checkFeasible(t, step, m, o, nil)
+			if err := m.g.CheckFlowConservation(); err != nil {
+				t.Fatalf("step %d (%+v): %v", step, ev, err)
+			}
+			if m.Live() != len(o.order) {
+				t.Fatalf("step %d: Live() %d, mirror has %d", step, m.Live(), len(o.order))
+			}
+		}
+
+		st := m.Stats()
+		if st.Events != len(events) {
+			t.Fatalf("Events %d, applied %d", st.Events, len(events))
+		}
+		if st.Arrivals+st.Departures+st.Resizes != st.Events {
+			t.Fatalf("counters %d+%d+%d don't partition %d events",
+				st.Arrivals, st.Departures, st.Resizes, st.Events)
+		}
+
+		// Error paths must not disturb the matching.
+		size, cost := m.Size(), m.Cost()
+		for _, id := range o.order { // live id re-arrival
+			if _, err := m.Arrive(geo.Point{}, id); !errors.Is(err, ErrDuplicateID) {
+				t.Fatalf("re-arrive live %d: %v, want ErrDuplicateID", id, err)
+			}
+			break
+		}
+		for _, id := range departed { // departed ids stay burned
+			if _, err := m.Arrive(geo.Point{}, id); !errors.Is(err, ErrDuplicateID) {
+				t.Fatalf("re-arrive departed %d: %v, want ErrDuplicateID", id, err)
+			}
+			if _, err := m.Depart(id); !errors.Is(err, ErrUnknownID) {
+				t.Fatalf("re-depart %d: %v, want ErrUnknownID", id, err)
+			}
+			break
+		}
+		if _, err := m.Depart(int64(len(events)) + 1e6); !errors.Is(err, ErrUnknownID) {
+			t.Fatalf("depart unknown: %v, want ErrUnknownID", err)
+		}
+		if err := m.ResizeProvider(nq, 1); !errors.Is(err, ErrUnknownID) {
+			t.Fatalf("resize out of range: %v, want ErrUnknownID", err)
+		}
+		if err := m.ResizeProvider(0, -1); err == nil || errors.Is(err, ErrUnknownID) {
+			t.Fatalf("resize negative cap: %v, want plain validation error", err)
+		}
+		if m.Size() != size || m.Cost() != cost {
+			t.Fatalf("rejected events changed the matching: size %d->%d cost %v->%v",
+				size, m.Size(), cost, m.Cost())
+		}
+		checkFeasible(t, len(events), m, o, nil)
+	})
+}

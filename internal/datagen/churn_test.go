@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestChurnStreamsValid checks the by-construction guarantees every
+// consumer of a churn workload relies on: exactly the requested event
+// count, unique arrival ids, departures referencing currently live
+// ids, resize targets in range with non-negative capacities, and
+// arrival points inside the data space.
+func TestChurnStreamsValid(t *testing.T) {
+	n := NewNetwork(10, geo.Rect{Max: geo.Point{X: 1000, Y: 1000}}, 7)
+	for _, name := range ChurnScenarios() {
+		for _, cfg := range []ChurnConfig{
+			{Events: 500, Providers: 16, Seed: 1},
+			{Events: 1200, Providers: 3, Seed: 99},
+			{}, // defaults
+		} {
+			w, err := NewChurn(name, n, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			wantEvents, wantProviders := cfg.Events, cfg.Providers
+			if wantEvents == 0 {
+				wantEvents = 1000
+			}
+			if wantProviders == 0 {
+				wantProviders = 32
+			}
+			if w.Scenario != name {
+				t.Errorf("%s: scenario label %q", name, w.Scenario)
+			}
+			if len(w.Events) != wantEvents {
+				t.Errorf("%s: %d events, want %d", name, len(w.Events), wantEvents)
+			}
+			if len(w.Providers) != wantProviders {
+				t.Errorf("%s: %d providers, want %d", name, len(w.Providers), wantProviders)
+			}
+			for i, p := range w.Providers {
+				if p.Cap < 0 {
+					t.Fatalf("%s: provider %d has negative cap %d", name, i, p.Cap)
+				}
+			}
+			live := map[int64]bool{}
+			seen := map[int64]bool{}
+			arrives, departs, resizes := 0, 0, 0
+			for i, ev := range w.Events {
+				switch ev.Kind {
+				case EventArrive:
+					arrives++
+					if seen[ev.ID] {
+						t.Fatalf("%s: event %d re-arrives id %d", name, i, ev.ID)
+					}
+					seen[ev.ID] = true
+					live[ev.ID] = true
+					if ev.Pt.X < 0 || ev.Pt.X > 1000 || ev.Pt.Y < 0 || ev.Pt.Y > 1000 {
+						t.Fatalf("%s: event %d arrival outside space: %+v", name, i, ev.Pt)
+					}
+				case EventDepart:
+					departs++
+					if !live[ev.ID] {
+						t.Fatalf("%s: event %d departs non-live id %d", name, i, ev.ID)
+					}
+					delete(live, ev.ID)
+				case EventResize:
+					resizes++
+					if ev.Provider < 0 || ev.Provider >= len(w.Providers) {
+						t.Fatalf("%s: event %d resizes provider %d out of range", name, i, ev.Provider)
+					}
+					if ev.NewCap < 0 {
+						t.Fatalf("%s: event %d resizes to negative cap %d", name, i, ev.NewCap)
+					}
+				default:
+					t.Fatalf("%s: event %d has unknown kind %v", name, i, ev.Kind)
+				}
+			}
+			if arrives == 0 {
+				t.Errorf("%s: stream has no arrivals", name)
+			}
+			if cfg.Events >= 500 && departs == 0 {
+				t.Errorf("%s: %d-event stream has no departures", name, wantEvents)
+			}
+			t.Logf("%s seed=%d: %d arrive / %d depart / %d resize",
+				name, cfg.Seed, arrives, departs, resizes)
+		}
+	}
+}
+
+// TestChurnDeterministic pins seed-determinism: the same (scenario,
+// network, config) must reproduce the identical stream, and a
+// different seed must not.
+func TestChurnDeterministic(t *testing.T) {
+	n := NewNetwork(8, geo.Rect{Max: geo.Point{X: 500, Y: 500}}, 3)
+	for _, name := range ChurnScenarios() {
+		cfg := ChurnConfig{Events: 400, Providers: 12, Seed: 5}
+		a, err := NewChurn(name, n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewChurn(name, n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different workloads", name)
+		}
+		cfg.Seed = 6
+		c, err := NewChurn(name, n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Events, c.Events) {
+			t.Errorf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+// TestChurnRegistry covers the registry surface: sorted names,
+// descriptions for each, and the unknown-name error.
+func TestChurnRegistry(t *testing.T) {
+	names := ChurnScenarios()
+	want := []string{"delivery", "diurnal", "evacuation", "ridehail"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("scenarios %v, want %v", names, want)
+	}
+	for _, name := range names {
+		if ChurnScenarioDescription(name) == "" {
+			t.Errorf("%s: empty description", name)
+		}
+	}
+	if ChurnScenarioDescription("nope") != "" {
+		t.Error("unknown scenario has a description")
+	}
+	n := NewNetwork(4, geo.Rect{Max: geo.Point{X: 10, Y: 10}}, 1)
+	if _, err := NewChurn("nope", n, ChurnConfig{}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+// TestChurnEventKindString pins the Stringer (the ccad wire format and
+// ccabench logs print these).
+func TestChurnEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EventArrive:   "arrive",
+		EventDepart:   "depart",
+		EventResize:   "resize",
+		EventKind(97): "EventKind(97)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", uint8(kind), got, want)
+		}
+	}
+}

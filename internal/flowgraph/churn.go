@@ -1,0 +1,308 @@
+package flowgraph
+
+import "fmt"
+
+// This file holds the residual-graph primitives behind the full churn
+// model of the dynamic matcher: customer removal, provider capacity
+// resize, and negative-cycle canceling. The successive-shortest-path
+// invariant only covers *arrivals* (augmenting along a shortest path
+// from an optimal state stays optimal); removing flow or adding source
+// capacity can create negative cycles in the residual graph, so repair
+// after a departure or resize is: restore maximality by augmenting,
+// then cancel negative residual cycles until none remain. Every cancel
+// strictly reduces Ψ(M) at unchanged flow value, so the process
+// terminates, and a residual graph with no negative cycle certifies a
+// minimum-cost flow at its value — regardless of the order repairs ran
+// in. All of this requires DisablePotentials mode (raw edge costs).
+
+// IsLive reports whether customer c is still present (not removed).
+func (g *Graph) IsLive(c int32) bool {
+	return int(c) < len(g.livePos) && g.livePos[c] >= 0
+}
+
+// LiveCount returns the number of customers currently present.
+func (g *Graph) LiveCount() int { return len(g.live) }
+
+// LiveCustomers returns a fresh snapshot of the customers still
+// present, in live-list order (arbitrary after removals). The oracle
+// side of the churn conformance suite re-solves from this snapshot.
+func (g *Graph) LiveCustomers() []Customer {
+	out := make([]Customer, 0, len(g.live))
+	for _, c := range g.live {
+		out = append(out, g.customers[c])
+	}
+	return out
+}
+
+// ProviderUsed returns the flow on e(s,q): how many assignments
+// provider q currently carries.
+func (g *Graph) ProviderUsed(q int32) int { return g.provUsed[q] }
+
+// CustomerProviders returns the providers customer c is assigned to
+// (usually zero or one in the exact pair-capacity-1 setting).
+func (g *Graph) CustomerProviders(c int32) []int32 { return g.assigned[c] }
+
+// RemoveCustomer deletes customer c from the graph: its assignments
+// are released (freeing provider capacity), its own capacity is zeroed
+// so it can never terminate a path again, and it is dropped from the
+// live list so the label-correcting searches stop visiting it. The
+// resulting matching is feasible but possibly neither maximum nor
+// minimum-cost; callers repair with augmenting searches and
+// CancelNegativeCycle.
+func (g *Graph) RemoveCustomer(c int32) error {
+	if !g.IsLive(c) {
+		return fmt.Errorf("flowgraph: remove: customer %d not live", c)
+	}
+	for _, q := range g.assigned[c] {
+		g.provUsed[q]--
+	}
+	g.assigned[c] = g.assigned[c][:0]
+	g.custUsed[c] = 0
+	g.customers[c].Cap = 0
+	pos := g.livePos[c]
+	last := g.live[len(g.live)-1]
+	g.live[pos] = last
+	g.livePos[last] = pos
+	g.live = g.live[:len(g.live)-1]
+	g.livePos[c] = -1
+	return nil
+}
+
+// SetProviderCap changes provider q's capacity. Growing may open
+// augmenting opportunities and can also create negative residual
+// cycles (a customer matched elsewhere may now prefer q); shrinking
+// below the current usage leaves e(s,q) over-saturated until the
+// caller evicts assignments (EvictLongestAssignment). The provider
+// slice must be owned by this graph's caller — the dynamic matcher
+// copies it at construction.
+func (g *Graph) SetProviderCap(q int32, newCap int) error {
+	if q < 0 || int(q) >= len(g.providers) {
+		return fmt.Errorf("flowgraph: resize: provider %d out of range [0,%d)", q, len(g.providers))
+	}
+	if newCap < 0 {
+		return fmt.Errorf("flowgraph: resize: provider %d capacity %d is negative", q, newCap)
+	}
+	g.providers[q].Cap = newCap
+	return nil
+}
+
+// EvictLongestAssignment unassigns provider q's longest current
+// assignment edge and returns the customer it was serving (now
+// unmatched but still live). Used when a resize shrinks q below its
+// usage: the longest edge is the costliest to keep, and the follow-up
+// repair re-routes the evicted customer optimally anyway.
+func (g *Graph) EvictLongestAssignment(q int32) (int32, error) {
+	best := int32(-1)
+	bestD := -1.0
+	for _, c := range g.live {
+		for _, a := range g.assigned[c] {
+			if a != q {
+				continue
+			}
+			if d := g.dist(q, c); d > bestD {
+				bestD, best = d, c
+			}
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("flowgraph: evict: provider %d has no assignments", q)
+	}
+	if err := g.unassign(best, q); err != nil {
+		return -1, err
+	}
+	g.provUsed[q]--
+	g.custUsed[best]--
+	return best, nil
+}
+
+// CheckFlowConservation verifies the residual graph's flow invariants:
+// every provider's e(s,q) flow equals its assignment count, every live
+// customer's e(p,t) flow equals its assignment count and respects its
+// capacity, and removed customers carry nothing. The churn fuzz suite
+// calls this after every event.
+func (g *Graph) CheckFlowConservation() error {
+	perProv := make([]int, len(g.providers))
+	for c := range g.customers {
+		c32 := int32(c)
+		for _, q := range g.assigned[c] {
+			perProv[q]++
+		}
+		if !g.IsLive(c32) {
+			if len(g.assigned[c]) != 0 || g.custUsed[c] != 0 {
+				return fmt.Errorf("flowgraph: removed customer %d still carries %d assignments, custUsed %d",
+					c, len(g.assigned[c]), g.custUsed[c])
+			}
+			continue
+		}
+		if g.custUsed[c] != len(g.assigned[c]) {
+			return fmt.Errorf("flowgraph: customer %d custUsed %d != %d assignments",
+				c, g.custUsed[c], len(g.assigned[c]))
+		}
+		if g.custUsed[c] > g.customers[c].Cap {
+			return fmt.Errorf("flowgraph: customer %d custUsed %d > cap %d",
+				c, g.custUsed[c], g.customers[c].Cap)
+		}
+	}
+	for q := range g.providers {
+		if g.provUsed[q] != perProv[q] {
+			return fmt.Errorf("flowgraph: provider %d provUsed %d != %d assignments",
+				q, g.provUsed[q], perProv[q])
+		}
+		if g.provUsed[q] > g.providers[q].Cap {
+			return fmt.Errorf("flowgraph: provider %d provUsed %d > cap %d",
+				q, g.provUsed[q], g.providers[q].Cap)
+		}
+	}
+	return nil
+}
+
+// cycleEps is the minimum per-edge improvement a cycle-detecting
+// relaxation must achieve. It guarantees termination (every cancel
+// strictly reduces Ψ(M)) while tolerating only float-noise
+// sub-optimality. It must not exceed improveEps: any cycle the SPFA
+// searches can keep relaxing around (and hence flag as
+// ErrNegativeCycle) must be one CancelNegativeCycle can find, or the
+// cancel-and-retry loop in the dynamic matcher would spin.
+const cycleEps = improveEps
+
+// CancelNegativeCycle finds one negative-cost cycle in the residual
+// graph — including cycles through the implicit source s (capacity
+// rebalancing between providers) and sink t (swapping which customer
+// is matched) — and cancels it, strictly reducing the matching cost at
+// unchanged size. It returns false when no such cycle exists, which
+// certifies the current matching is a minimum-cost flow at its value.
+// Requires DisablePotentials mode.
+//
+// The search is a Bellman–Ford pass from a virtual super-source (every
+// node starts at distance 0), over the explicit node set providers +
+// customers + s + t; a relaxation still firing after |V| rounds pins a
+// negative cycle, recovered by walking the prev chain.
+func (g *Graph) CancelNegativeCycle() (bool, error) {
+	nq := len(g.providers)
+	n := nq + len(g.customers) + 2
+	sNode := NodeID(n - 2)
+	tNode := NodeID(n - 1)
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	g.stats.Dijkstras++
+	// Removed customers have no residual edges, so convergence (and any
+	// cycle's length) is bounded by the active node count, not n.
+	active := nq + len(g.live) + 2
+	improved := NodeID(-1)
+	for round := 0; round <= active; round++ {
+		improved = -1
+		relax := func(u, v NodeID, w float64) {
+			if nd := dist[u] + w; nd < dist[v]-cycleEps {
+				dist[v] = nd
+				prev[v] = u
+				improved = v
+				g.stats.Relaxations++
+			}
+		}
+		for q := 0; q < nq; q++ {
+			q32 := int32(q)
+			if !g.ProviderFull(q32) {
+				relax(sNode, NodeID(q), 0)
+			}
+			if g.provUsed[q] > 0 {
+				relax(NodeID(q), sNode, 0)
+			}
+		}
+		for _, c := range g.live {
+			node := g.customerNode(c)
+			if g.complete {
+				for q := 0; q < nq; q++ {
+					q32 := int32(q)
+					if !g.forwardSaturated(c, q32) {
+						relax(NodeID(q), node, g.dist(q32, c))
+					}
+				}
+			}
+			for _, q := range g.assigned[c] {
+				relax(node, NodeID(q), -g.dist(q, c))
+			}
+			if !g.CustomerFull(c) {
+				relax(node, tNode, 0)
+			}
+			if g.custUsed[c] > 0 {
+				relax(tNode, node, 0)
+			}
+		}
+		if !g.complete {
+			for q := 0; q < nq; q++ {
+				q32 := int32(q)
+				for _, he := range g.adj[q] {
+					if !g.IsLive(he.cust) || g.forwardSaturated(he.cust, q32) {
+						continue
+					}
+					relax(NodeID(q), g.customerNode(he.cust), he.dist)
+				}
+			}
+		}
+		if improved < 0 {
+			return false, nil
+		}
+	}
+	// A node relaxed on the final round is reachable from a negative
+	// cycle; `active` prev-steps land inside it.
+	v := improved
+	for i := 0; i < active; i++ {
+		v = prev[v]
+	}
+	cycle := []NodeID{v}
+	for u := prev[v]; u != v; u = prev[u] {
+		cycle = append(cycle, u)
+		if len(cycle) > active {
+			return false, fmt.Errorf("flowgraph: cycle walk exceeded %d nodes", active)
+		}
+	}
+	for _, w := range cycle {
+		if err := g.applyResidualEdge(prev[w], w, sNode, tNode); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// applyResidualEdge pushes one unit of flow along residual edge u→v,
+// where u and v are CancelNegativeCycle's node ids (providers,
+// customers, or the explicit s/t).
+func (g *Graph) applyResidualEdge(u, v, sNode, tNode NodeID) error {
+	switch {
+	case u == sNode: // s→q: provider takes on one more unit
+		if v < 0 || int(v) >= len(g.providers) {
+			return fmt.Errorf("flowgraph: cycle edge s->%d is not a provider", v)
+		}
+		g.provUsed[v]++
+	case v == sNode: // q→s: provider releases one unit
+		if u < 0 || int(u) >= len(g.providers) {
+			return fmt.Errorf("flowgraph: cycle edge %d->s is not a provider", u)
+		}
+		g.provUsed[u]--
+	case u == tNode: // t→p: customer loses its sink flow
+		if !g.isCustomerNode(v) {
+			return fmt.Errorf("flowgraph: cycle edge t->%d is not a customer", v)
+		}
+		g.custUsed[g.custIdx(v)]--
+	case v == tNode: // p→t: customer becomes matched
+		if !g.isCustomerNode(u) {
+			return fmt.Errorf("flowgraph: cycle edge %d->t is not a customer", u)
+		}
+		g.custUsed[g.custIdx(u)]++
+	case g.isCustomerNode(u): // reversed p→q: unassign
+		if g.isCustomerNode(v) {
+			return fmt.Errorf("flowgraph: cycle edge %d->%d joins two customers", u, v)
+		}
+		return g.unassign(g.custIdx(u), int32(v))
+	default: // forward q→p: assign
+		if !g.isCustomerNode(v) {
+			return fmt.Errorf("flowgraph: cycle edge %d->%d joins two providers", u, v)
+		}
+		c := g.custIdx(v)
+		g.assign(c, int32(u), g.dist(int32(u), c))
+	}
+	return nil
+}

@@ -111,6 +111,14 @@ type Graph struct {
 	// found with SearchLabelCorrecting (see spfa.go).
 	noPotentials bool
 
+	// live lists the customer indices that are still present; livePos
+	// inverts it (-1 once removed). Batch solves never remove customers,
+	// so only the churn paths (RemoveCustomer, the label-correcting
+	// searches, CancelNegativeCycle) consult these — the potential-based
+	// Dijkstra paths are untouched.
+	live    []int32
+	livePos []int32
+
 	// metric computes edge costs (default geo.Euclidean). See geo.Metric
 	// for the lower-bound contract non-Euclidean metrics must satisfy.
 	metric geo.Metric
@@ -136,6 +144,8 @@ type graphArrays struct {
 	custUsed    []int
 	assigned    [][]int32
 	assignedLen []float64
+	live        []int32
+	livePos     []int32
 }
 
 var arraysPool = sync.Pool{New: func() any { return &graphArrays{} }}
@@ -174,6 +184,8 @@ func acquireArrays(n int) *graphArrays {
 	a.custUsed = a.custUsed[:0]
 	a.assigned = a.assigned[:0]
 	a.assignedLen = a.assignedLen[:0]
+	a.live = a.live[:0]
+	a.livePos = a.livePos[:0]
 	return a
 }
 
@@ -198,6 +210,8 @@ func NewGraph(providers []Provider, complete bool) *Graph {
 		custUsed:    a.custUsed,
 		assigned:    a.assigned,
 		assignedLen: a.assignedLen,
+		live:        a.live,
+		livePos:     a.livePos,
 		complete:    complete,
 		metric:      geo.Euclidean,
 		arr:         a,
@@ -244,11 +258,14 @@ func (g *Graph) Release() {
 		custUsed:    g.custUsed,
 		assigned:    g.assigned,
 		assignedLen: g.assignedLen,
+		live:        g.live,
+		livePos:     g.livePos,
 	}
 	arraysPool.Put(g.arr)
 	g.arr = nil
 	g.provUsed, g.adj, g.tau, g.lastAlpha = nil, nil, nil, nil
 	g.customers, g.custUsed, g.assigned, g.assignedLen = nil, nil, nil, nil
+	g.live, g.livePos = nil, nil
 }
 
 // NumProviders returns |Q|.
@@ -293,8 +310,11 @@ func (g *Graph) AddCustomer(pt geo.Point, capacity int, extID int64) int32 {
 	}
 	g.assignedLen = append(g.assignedLen, 0)
 	g.tau = append(g.tau, 0)
+	c := int32(len(g.customers) - 1)
+	g.livePos = append(g.livePos, int32(len(g.live)))
+	g.live = append(g.live, c)
 	g.search.grow(len(g.providers) + len(g.customers))
-	return int32(len(g.customers) - 1)
+	return c
 }
 
 // AddEdge inserts the forward edge q→c into Esub and returns its length.

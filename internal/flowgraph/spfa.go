@@ -1,6 +1,7 @@
 package flowgraph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -16,13 +17,21 @@ import (
 // needs no potentials at all.
 func (g *Graph) DisablePotentials() { g.noPotentials = true }
 
+// ErrNegativeCycle reports that a label-correcting search ran into a
+// negative residual cycle — possible only when a bounded re-opt budget
+// deferred repair work. The caller must cancel a cycle
+// (CancelNegativeCycle) and retry the search.
+var ErrNegativeCycle = errors.New("flowgraph: residual graph has a negative cycle")
+
 // SearchLabelCorrecting computes the shortest augmenting path with a
 // queue-based Bellman–Ford (SPFA) over raw costs: +dist on forward
 // edges, −dist on reversed edges. It fills the same search state as
-// Search, so Augment applies the path identically. There are no negative
-// cycles in a min-cost-flow residual graph built from optimal prefixes,
-// so the search terminates.
-func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
+// Search, so Augment applies the path identically. A min-cost-flow
+// residual graph built from fully repaired states has no negative
+// cycles, so the search terminates; when deferred repair debt does
+// leave one, the standard SPFA enqueue-count bound detects it and the
+// search aborts with ErrNegativeCycle instead of relaxing forever.
+func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool, err error) {
 	s := g.search
 	s.epoch++
 	n := len(g.providers) + len(g.customers)
@@ -36,10 +45,15 @@ func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
 
 	queue := make([]NodeID, 0, n)
 	inQueue := make([]bool, n)
+	enq := make([]int32, n)
+	cycle := false
 	push := func(v NodeID) {
 		if !inQueue[v] {
 			inQueue[v] = true
 			queue = append(queue, v)
+			if enq[v]++; int(enq[v]) > n+1 {
+				cycle = true
+			}
 		}
 	}
 	relax := func(v NodeID, nd float64, from NodeID) {
@@ -61,7 +75,7 @@ func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
 			push(NodeID(q))
 		}
 	}
-	for len(queue) > 0 {
+	for len(queue) > 0 && !cycle {
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
@@ -77,8 +91,7 @@ func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
 		q := int32(v)
 		base := s.alpha[v]
 		if g.complete {
-			for c := range g.customers {
-				c32 := int32(c)
+			for _, c32 := range g.live {
 				if g.forwardSaturated(c32, q) {
 					continue
 				}
@@ -86,7 +99,7 @@ func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
 			}
 		} else {
 			for _, he := range g.adj[q] {
-				if g.forwardSaturated(he.cust, q) {
+				if !g.IsLive(he.cust) || g.forwardSaturated(he.cust, q) {
 					continue
 				}
 				relax(g.customerNode(he.cust), base+he.dist, v)
@@ -95,8 +108,7 @@ func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
 	}
 	// The sink's distance: the cheapest non-full customer (its p→t edge
 	// costs 0 under raw costs).
-	for c := range g.customers {
-		c32 := int32(c)
+	for _, c32 := range g.live {
 		node := g.customerNode(c32)
 		if g.CustomerFull(c32) || !s.seen(node) {
 			continue
@@ -106,10 +118,13 @@ func (g *Graph) SearchLabelCorrecting() (vmin NodeID, cost float64, ok bool) {
 			s.vmin = node
 		}
 	}
-	if s.vmin < 0 {
-		return -1, math.Inf(1), false
+	if cycle {
+		return -1, math.Inf(1), false, ErrNegativeCycle
 	}
-	return s.vmin, s.tBest, true
+	if s.vmin < 0 {
+		return -1, math.Inf(1), false, nil
+	}
+	return s.vmin, s.tBest, true, nil
 }
 
 // sinkSeed marks prev-chains that start at the sink's reversed edge
@@ -124,8 +139,16 @@ const sinkSeed NodeID = -2
 // cNew, canceling this single cycle (when negative) restores the
 // min-cost maximum matching. Requires DisablePotentials mode.
 //
-// It returns whether cNew was swapped in.
+// It returns whether cNew was swapped in. Like SearchLabelCorrecting,
+// it aborts with ErrNegativeCycle if deferred repair debt left a
+// negative cycle elsewhere in the residual graph.
 func (g *Graph) SwapArrival(cNew int32) (bool, error) {
+	// A forced cycle cancel between search attempts can route flow
+	// through cNew's sink edge, matching it as a side effect; swapping
+	// again would double-assign it.
+	if g.custUsed[cNew] > 0 {
+		return false, nil
+	}
 	s := g.search
 	s.epoch++
 	n := len(g.providers) + len(g.customers)
@@ -135,10 +158,15 @@ func (g *Graph) SwapArrival(cNew int32) (bool, error) {
 
 	queue := make([]NodeID, 0, n)
 	inQueue := make([]bool, n)
+	enq := make([]int32, n)
+	cycle := false
 	push := func(v NodeID) {
 		if !inQueue[v] {
 			inQueue[v] = true
 			queue = append(queue, v)
+			if enq[v]++; int(enq[v]) > n+1 {
+				cycle = true
+			}
 		}
 	}
 	relax := func(v NodeID, nd float64, from NodeID) {
@@ -152,9 +180,8 @@ func (g *Graph) SwapArrival(cNew int32) (bool, error) {
 		push(v)
 	}
 	// Seeds: reversed sink edges t→p of customers carrying flow.
-	for c := range g.customers {
-		c32 := int32(c)
-		if g.custUsed[c] == 0 || c32 == cNew {
+	for _, c32 := range g.live {
+		if g.custUsed[c32] == 0 || c32 == cNew {
 			continue
 		}
 		node := g.customerNode(c32)
@@ -164,7 +191,7 @@ func (g *Graph) SwapArrival(cNew int32) (bool, error) {
 		push(node)
 	}
 	target := g.customerNode(cNew)
-	for len(queue) > 0 {
+	for len(queue) > 0 && !cycle {
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
@@ -182,27 +209,27 @@ func (g *Graph) SwapArrival(cNew int32) (bool, error) {
 		}
 		q := int32(v)
 		base := s.alpha[v]
-		for c := range g.customers {
-			c32 := int32(c)
-			if !g.complete {
-				break
+		if g.complete {
+			for _, c32 := range g.live {
+				if g.forwardSaturated(c32, q) {
+					continue
+				}
+				relax(g.customerNode(c32), base+g.dist(q, c32), v)
 			}
-			if g.forwardSaturated(c32, q) {
-				continue
-			}
-			relax(g.customerNode(c32), base+g.dist(q, c32), v)
-		}
-		if !g.complete {
+		} else {
 			for _, he := range g.adj[q] {
-				if g.forwardSaturated(he.cust, q) {
+				if !g.IsLive(he.cust) || g.forwardSaturated(he.cust, q) {
 					continue
 				}
 				relax(g.customerNode(he.cust), base+he.dist, v)
 			}
 		}
 	}
+	if cycle {
+		return false, ErrNegativeCycle
+	}
 	if !s.seen(target) || s.alpha[target] >= -improveEps {
-		return false, nil // no negative cycle: the matching is already optimal
+		return false, nil // no swap available: the matching is already optimal
 	}
 	// Apply the cycle: flip assignments along the path, move the sink
 	// flow from the seed customer to cNew.

@@ -21,7 +21,9 @@ func TestLabelCorrectingMatchesReference(t *testing.T) {
 			g.AddCustomer(c.Pt, c.Cap, c.ExtID)
 		}
 		for {
-			if _, _, ok := g.SearchLabelCorrecting(); !ok {
+			if _, _, ok, err := g.SearchLabelCorrecting(); err != nil {
+				t.Fatal(err)
+			} else if !ok {
 				break
 			}
 			if err := g.Augment(); err != nil {
@@ -44,7 +46,9 @@ func TestSwapArrival(t *testing.T) {
 	g.DisablePotentials()
 
 	far := g.AddCustomer(geo.Point{X: 10, Y: 0}, 1, 1)
-	if _, _, ok := g.SearchLabelCorrecting(); !ok {
+	if _, _, ok, err := g.SearchLabelCorrecting(); err != nil {
+		t.Fatal(err)
+	} else if !ok {
 		t.Fatal("first customer must match")
 	}
 	if err := g.Augment(); err != nil {
@@ -91,7 +95,9 @@ func TestSwapArrivalMultiHop(t *testing.T) {
 	g.DisablePotentials()
 	add := func(x float64, id int64) int32 { return g.AddCustomer(geo.Point{X: x, Y: 0}, 1, id) }
 	match := func() {
-		if _, _, ok := g.SearchLabelCorrecting(); !ok {
+		if _, _, ok, err := g.SearchLabelCorrecting(); err != nil {
+			t.Fatal(err)
+		} else if !ok {
 			t.Fatal("no path")
 		}
 		if err := g.Augment(); err != nil {

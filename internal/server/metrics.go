@@ -33,6 +33,8 @@ type counters struct {
 	sessionsCreated uint64
 	arrivals        uint64
 	arrivalsMatched uint64
+	departures      uint64
+	resizes         uint64
 }
 
 func (c *counters) init() {
@@ -81,6 +83,18 @@ func (c *counters) recordArrival(matched bool) {
 	if matched {
 		c.arrivalsMatched++
 	}
+	c.mu.Unlock()
+}
+
+func (c *counters) recordDepart() {
+	c.mu.Lock()
+	c.departures++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordResize() {
+	c.mu.Lock()
+	c.resizes++
 	c.mu.Unlock()
 }
 
@@ -133,6 +147,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pairs, cacheHits, cost := s.stats.pairs, s.stats.cacheHits, s.stats.cost
 	solveWall, queueWait := s.stats.solveWall, s.stats.queueWait
 	sessionsCreated, arrivals, arrivalsMatched := s.stats.sessionsCreated, s.stats.arrivals, s.stats.arrivalsMatched
+	departures, resizes := s.stats.departures, s.stats.resizes
 	s.stats.mu.Unlock()
 
 	handlers := make([]string, 0, len(requests))
@@ -220,6 +235,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.val("ccad_sessions_arrivals_total", float64(arrivals))
 	p.header("ccad_sessions_arrivals_matched_total", "Arrivals that held a slot immediately.", "counter")
 	p.val("ccad_sessions_arrivals_matched_total", float64(arrivalsMatched))
+	p.header("ccad_sessions_departures_total", "Customer departures processed across all sessions.", "counter")
+	p.val("ccad_sessions_departures_total", float64(departures))
+	p.header("ccad_sessions_resizes_total", "Provider capacity resizes processed across all sessions.", "counter")
+	p.val("ccad_sessions_resizes_total", float64(resizes))
 
 	// Named datasets.
 	p.header("ccad_datasets_loaded", "Named datasets currently indexed in memory.", "gauge")

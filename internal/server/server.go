@@ -11,6 +11,8 @@
 //	                                  streamed (?stream=ndjson|sse)
 //	POST   /v1/sessions               create an online session
 //	POST   /v1/sessions/{id}/arrive   incremental customer arrival
+//	POST   /v1/sessions/{id}/depart   customer departure (slot release)
+//	POST   /v1/sessions/{id}/resize   provider capacity change
 //	GET    /v1/sessions/{id}/matching current optimal matching
 //	DELETE /v1/sessions/{id}          end a session
 //	GET    /v1/datasets               list named datasets
@@ -174,6 +176,8 @@ func New(cfg Config) *Server {
 	s.handle("POST /v1/solve", "solve", s.handleSolve)
 	s.handle("POST /v1/sessions", "session_create", s.handleSessionCreate)
 	s.handle("POST /v1/sessions/{id}/arrive", "session_arrive", s.handleSessionArrive)
+	s.handle("POST /v1/sessions/{id}/depart", "session_depart", s.handleSessionDepart)
+	s.handle("POST /v1/sessions/{id}/resize", "session_resize", s.handleSessionResize)
 	s.handle("GET /v1/sessions/{id}/matching", "session_matching", s.handleSessionMatching)
 	s.handle("DELETE /v1/sessions/{id}", "session_delete", s.handleSessionDelete)
 	s.handle("GET /v1/datasets", "datasets", s.handleDatasets)

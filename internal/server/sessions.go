@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -10,22 +11,23 @@ import (
 )
 
 // Body bounds for the session endpoints: a provider set is small (the
-// paper's |Q| ≈ 1K fits in kilobytes) and an arrival is one point.
+// paper's |Q| ≈ 1K fits in kilobytes) and a churn event is one point
+// or id.
 const (
 	maxSessionBody = 8 << 20
 	maxArriveBody  = 1 << 20
 )
 
 // session is one server-held online matching: a DynamicMatcher plus the
-// lock serializing its arrivals (the matcher mutates a shared residual
-// graph, so arrivals within a session are ordered; distinct sessions
-// proceed in parallel).
+// lock serializing its events (the matcher mutates a shared residual
+// graph, so events within a session are ordered; distinct sessions
+// proceed in parallel). Id bookkeeping lives in the matcher itself —
+// the handlers branch on its sentinel errors rather than tracking a
+// parallel seen-set.
 type session struct {
 	mu       sync.Mutex
 	m        *cca.DynamicMatcher
-	capacity int
 	arrivals int
-	seen     map[int64]bool
 }
 
 // sessionStore is the bounded id → session map.
@@ -93,6 +95,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no providers")
 		return
 	}
+	if req.ReoptBudget < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reopt_budget must be >= 0, got %d", req.ReoptBudget))
+		return
+	}
 	providers := make([]cca.Provider, len(req.Providers))
 	capacity := 0
 	for i, q := range req.Providers {
@@ -104,9 +110,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		capacity += q.Cap
 	}
 	sess := &session{
-		m:        cca.NewDynamicMatcher(providers),
-		capacity: capacity,
-		seen:     make(map[int64]bool),
+		m: cca.NewDynamicMatcherOpts(providers, cca.DynamicOptions{ReoptBudget: req.ReoptBudget}),
 	}
 	id, err := s.sessions.add(sess)
 	if err != nil {
@@ -149,18 +153,17 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("session reached its arrival limit (%d); create a new session", s.cfg.MaxArrivals))
 		return
 	}
-	if sess.seen[req.ID] {
+	matched, err := sess.m.Arrive(cca.Point{X: req.X, Y: req.Y}, req.ID)
+	if errors.Is(err, cca.ErrDuplicateID) {
 		sess.mu.Unlock()
 		writeError(w, http.StatusConflict, fmt.Sprintf("customer %d already arrived", req.ID))
 		return
 	}
-	matched, err := sess.m.Arrive(cca.Point{X: req.X, Y: req.Y}, req.ID)
 	if err != nil {
 		sess.mu.Unlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	sess.seen[req.ID] = true
 	sess.arrivals++
 	resp := client.ArriveResponse{
 		Matched:  matched,
@@ -171,6 +174,97 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Unlock()
 
 	s.stats.recordArrival(matched)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDepart serves POST /v1/sessions/{id}/depart: remove one
+// customer, releasing its slot and repairing the matching. An id that
+// never arrived, or already departed, is 404.
+func (s *Server) handleSessionDepart(w http.ResponseWriter, r *http.Request) {
+	// Like arrivals, churn events are new work: reject them during
+	// drain so event loops cannot hold Shutdown open. Reads stay
+	// available.
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req client.DepartRequest
+	if !decodeBody(w, r, maxArriveBody, &req) {
+		return
+	}
+
+	sess.mu.Lock()
+	wasMatched, err := sess.m.Depart(req.ID)
+	if errors.Is(err, cca.ErrUnknownID) {
+		sess.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("customer %d is not present", req.ID))
+		return
+	}
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := client.DepartResponse{
+		WasMatched: wasMatched,
+		Size:       sess.m.Size(),
+		Cost:       sess.m.Cost(),
+		Live:       sess.m.Live(),
+	}
+	sess.mu.Unlock()
+
+	s.stats.recordDepart()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionResize serves POST /v1/sessions/{id}/resize: change one
+// provider's capacity. Shrinking evicts and re-routes assignees;
+// growing admits waiting customers. An index out of range is 404, a
+// negative capacity 400.
+func (s *Server) handleSessionResize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req client.ResizeRequest
+	if !decodeBody(w, r, maxArriveBody, &req) {
+		return
+	}
+	if req.Cap < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("capacity must be >= 0, got %d", req.Cap))
+		return
+	}
+
+	sess.mu.Lock()
+	err := sess.m.ResizeProvider(req.Provider, req.Cap)
+	if errors.Is(err, cca.ErrUnknownID) {
+		sess.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no provider %d in this session", req.Provider))
+		return
+	}
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := client.ResizeResponse{
+		Size:     sess.m.Size(),
+		Cost:     sess.m.Cost(),
+		Capacity: sess.m.Capacity(),
+	}
+	sess.mu.Unlock()
+
+	s.stats.recordResize()
 	writeJSON(w, http.StatusOK, resp)
 }
 
