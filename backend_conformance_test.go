@@ -56,11 +56,15 @@ func TestNetworkBackendConformance(t *testing.T) {
 		name      string
 		landmarks int // SetLandmarks argument
 		distTable int // core.Options.DistTable
+		ch        int // SetCH argument (0 = off; the 256-node grid is below auto)
 	}{
-		{"alt", -1, -1},       // default landmarks, point queries only
-		{"dijkstra", 0, -1},   // landmarks off, plain forward Dijkstra
-		{"table", -1, 0},      // bulk many-to-many table, auto budget
-		{"table-plain", 0, 0}, // table without landmarks
+		{"alt", -1, -1, 0},       // default landmarks, point queries only
+		{"dijkstra", 0, -1, 0},   // landmarks off, plain forward Dijkstra
+		{"table", -1, 0, 0},      // bulk many-to-many table, auto budget
+		{"table-plain", 0, 0, 0}, // table without landmarks
+		{"ch", -1, -1, 1},        // contraction-hierarchy point queries
+		{"ch-plain", 0, -1, 1},   // hierarchy without landmarks
+		{"ch+table", -1, 0, 1},   // table built through the hierarchy sweep
 	}
 
 	for _, algo := range []string{"ida", "sspa", "greedy", "sharded:ida"} {
@@ -68,6 +72,7 @@ func TestNetworkBackendConformance(t *testing.T) {
 		for _, b := range backends {
 			metric := netmetric.FromNetwork(net)
 			metric.SetLandmarks(b.landmarks)
+			metric.SetCH(b.ch)
 			opts := &SolverOptions{}
 			opts.Core.Metric = metric
 			opts.Core.DistTable = b.distTable
@@ -87,6 +92,11 @@ func TestNetworkBackendConformance(t *testing.T) {
 			// records no misses (point backends record thousands).
 			if misses := metric.Stats().NodeMisses; b.distTable == 0 && misses != 0 {
 				t.Errorf("%s/%s: %d node-cache misses; distance table never engaged", algo, b.name, misses)
+			}
+			// Likewise the hierarchy rows must actually route their point
+			// queries through chDist, not silently fall through to ALT.
+			if q, _ := metric.CHStats(); b.ch == 1 && b.distTable != 0 && q == 0 {
+				t.Errorf("%s/%s: hierarchy enabled but no chDist queries recorded", algo, b.name)
 			}
 			fp := backendFingerprint(res)
 			if ref == "" {

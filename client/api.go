@@ -84,6 +84,12 @@ type Instance struct {
 	// not an Options field — because landmark state lives on the shared
 	// per-network metric. Distances are byte-identical either way.
 	NetLandmarks int `json:"net_landmarks,omitempty"`
+	// NetCH configures contraction-hierarchy point queries for
+	// "network": 0 selects automatic mode (on for networks of at least
+	// DefaultCHMinNodes nodes), 1 forces the hierarchy on, -1 disables
+	// it. Part of the network's identity for the same reason as
+	// NetLandmarks. Distances are byte-identical either way.
+	NetCH int `json:"net_ch,omitempty"`
 	// Options tunes the solve (nil = defaults).
 	Options *Options `json:"options,omitempty"`
 	// Lane selects the scheduling priority: "" or "interactive"
@@ -170,8 +176,7 @@ type StreamEnvelope struct {
 }
 
 // SessionRequest is the body of POST /v1/sessions: the provider set an
-// online session assigns arriving customers to. Sessions measure
-// Euclidean distance (the incremental matcher's setting).
+// online session assigns arriving customers to.
 type SessionRequest struct {
 	Providers []Provider `json:"providers"`
 	// ReoptBudget bounds the repair work amortized per churn event
@@ -179,6 +184,17 @@ type SessionRequest struct {
 	// cancels run before the event returns, deferring the rest. 0 (the
 	// default) means unlimited — every event leaves the exact optimum.
 	ReoptBudget int `json:"reopt_budget,omitempty"`
+	// Metric selects the session's distance backend with the same wire
+	// encoding as Instance: "" or "euclidean", or "network" with
+	// NetGrid/NetSeed (defaults 32/2008) and the NetLandmarks / NetCH
+	// knobs. The session shares the server's per-network metric memo
+	// with batch solves, and every incremental assignment measures
+	// shortest-path distance over that road network.
+	Metric       string `json:"metric,omitempty"`
+	NetGrid      int    `json:"net_grid,omitempty"`
+	NetSeed      int64  `json:"net_seed,omitempty"`
+	NetLandmarks int    `json:"net_landmarks,omitempty"`
+	NetCH        int    `json:"net_ch,omitempty"`
 }
 
 // SessionInfo describes a created session.

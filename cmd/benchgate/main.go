@@ -17,10 +17,12 @@
 // twice as fast shifts every row equally and passes; an ALT search that
 // got 20% slower relative to the Euclidean floor fails on any machine.
 //
-// The net sweep additionally carries an absolute floor: the distance
+// The net sweep additionally carries two absolute floors: the distance
 // table must keep a >= 3x cold-solve speedup over the legacy
-// bidirectional-Dijkstra baseline — the ratio the optimization was
-// merged on (see BENCH_net.json). The churn sweep carries absolute
+// bidirectional-Dijkstra baseline, and the contraction hierarchy must
+// keep a >= 3x cold point-query speedup over ALT (the QueryNS column)
+// — the ratios each optimization was merged on (see BENCH_net.json).
+// The churn sweep carries absolute
 // invariants of its own: the unlimited-budget row must track the full
 // re-solve oracle exactly, every budgeted row's worst observed drift
 // must stay under the documented 10% ceiling, and all rows must agree
@@ -72,6 +74,15 @@ type serveRow struct {
 // netFloorSpeedup is the absolute invariant of the net sweep: the
 // "table" backend's cold-solve speedup over the "bidi" baseline row.
 const netFloorSpeedup = 3.0
+
+// chQueryFloorSpeedup is the absolute invariant the contraction
+// hierarchy was merged on: CH cold point queries must stay >= 3x
+// faster than ALT cold point queries (the QueryNS column of the net
+// sweep). The floor is on per-query latency, not on row CPU — the
+// solve rows share the assignment solver's own work, which Amdahl-caps
+// any end-to-end ratio regardless of how fast the backend gets. Runs
+// predating the QueryNS column (both values zero) skip the check.
+const chQueryFloorSpeedup = 3.0
 
 // churnDriftCeiling is the documented drift bound of the churn sweep:
 // no re-opt budget >= 1 may let the incremental matching's cost drift
@@ -181,7 +192,7 @@ func gateInternal(name string, rows []expr.Row) []string {
 	// dijkstra, alt and table are byte-identical by contract; bidi sums
 	// the same paths in a different order, so it agrees to rounding.
 	if ref, ok := byLabel["dijkstra"]; ok {
-		for _, lbl := range []string{"alt", "table"} {
+		for _, lbl := range []string{"alt", "ch", "table"} {
 			if r, ok := byLabel[lbl]; ok && (r.Cost != ref.Cost || r.Size != ref.Size || r.Esub != ref.Esub) {
 				msgs = append(msgs, fmt.Sprintf("net: %s diverged from dijkstra: cost %v vs %v, size %d vs %d, esub %d vs %d",
 					lbl, r.Cost, ref.Cost, r.Size, ref.Size, r.Esub, ref.Esub))
@@ -196,6 +207,14 @@ func gateInternal(name string, rows []expr.Row) []string {
 	if okB && okT && tab.CPU > 0 {
 		if speedup := float64(bidi.CPU) / float64(tab.CPU); speedup < netFloorSpeedup {
 			msgs = append(msgs, fmt.Sprintf("net: table speedup %.2fx over bidi below the %.0fx floor", speedup, netFloorSpeedup))
+		}
+	}
+	alt, okA := byLabel["alt"]
+	ch, okC := byLabel["ch"]
+	if okA && okC && alt.QueryNS > 0 && ch.QueryNS > 0 {
+		if speedup := float64(alt.QueryNS) / float64(ch.QueryNS); speedup < chQueryFloorSpeedup {
+			msgs = append(msgs, fmt.Sprintf("net: ch cold point query %.2fx over alt below the %.0fx floor (alt %v, ch %v)",
+				speedup, chQueryFloorSpeedup, alt.QueryNS, ch.QueryNS))
 		}
 	}
 	return msgs

@@ -170,6 +170,39 @@ func TestSpeedupFloor(t *testing.T) {
 	}
 }
 
+// TestCHQueryFloor drops the ch row's cold point-query speedup under
+// 3x: the per-query floor must fire even when every row CPU is
+// healthy, and must stay silent for runs predating the QueryNS column.
+func TestCHQueryFloor(t *testing.T) {
+	runs := loadNetRuns(t)
+	last := runs[len(runs)-1]
+	rows := append([]expr.Row(nil), last.Figures["net"]...)
+	for i := range rows {
+		switch rows[i].Label {
+		case "alt":
+			rows[i].QueryNS = 300 * time.Microsecond
+		case "ch":
+			rows[i].QueryNS = 200 * time.Microsecond // 1.5x < 3x floor
+		}
+	}
+	last.Figures = map[string][]expr.Row{"net": rows}
+	msgs := gateFile(writeRuns(t, []run{last}), 0.15)
+	if len(msgs) == 0 {
+		t.Fatal("sub-floor ch point-query speedup passed the gate")
+	}
+	if !containsAll(msgs, "ch", "floor") {
+		t.Errorf("findings do not name the ch floor: %v", msgs)
+	}
+
+	for i := range rows {
+		rows[i].QueryNS = 0 // legacy run: column absent
+	}
+	last.Figures = map[string][]expr.Row{"net": rows}
+	if msgs := gateFile(writeRuns(t, []run{last}), 0.15); len(msgs) > 0 {
+		t.Errorf("legacy run without QueryNS rejected: %v", msgs)
+	}
+}
+
 // churnRows is a healthy churn figure: exact row driftless, budget
 // rows under the ceiling, all sizes equal.
 func churnRows() []expr.Row {

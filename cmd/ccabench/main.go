@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/geo/netmetric"
 	"repro/internal/solver"
 )
 
@@ -45,6 +46,8 @@ e.g. -algos ida,sharded:ida -shards 8`)
 0 = disable landmark pruning (plain Dijkstra point queries)`)
 	table := flag.String("table", "auto", `bulk distance-table precompute threaded into every sweep's
 options: "auto" (size-gated), "off", or a float64-cell memory budget`)
+	ch := flag.String("ch", "auto", `contraction-hierarchy point queries for -metric network
+workloads: "auto" (on at `+fmt.Sprint(netmetric.DefaultCHMinNodes)+`+ nodes), "off", or "on"`)
 	jsonOut := flag.String("json", "", `append the run's rows to this JSON trajectory file
 (e.g. BENCH_shard.json for -fig shard, BENCH_net.json for -fig net,
 BENCH_serve.json with -serve); each run appends one document, so the
@@ -83,6 +86,16 @@ figure tables (-fig is ignored)`)
 			os.Exit(2)
 		}
 		expr.SetDistTable(budget)
+	}
+	switch strings.ToLower(*ch) {
+	case "", "auto":
+	case "off":
+		expr.SetCH(0)
+	case "on":
+		expr.SetCH(1)
+	default:
+		fmt.Fprintf(os.Stderr, "ccabench: -ch must be auto, off, or on (got %q)\n", *ch)
+		os.Exit(2)
 	}
 
 	streaming := false

@@ -40,6 +40,8 @@ func main() {
 		netSeed   = flag.Int64("netseed", 2008, "road network seed for -metric network (ccagen's -seed)")
 		landmarks = flag.Int("landmarks", -1, `ALT landmark count for -metric network: -1 = default
 (`+fmt.Sprint(netmetric.DefaultLandmarks)+`), 0 = disable landmark pruning (plain Dijkstra point queries)`)
+		ch = flag.String("ch", "auto", `contraction-hierarchy point queries for -metric network:
+"auto" (on at `+fmt.Sprint(netmetric.DefaultCHMinNodes)+`+ nodes), "off", or "on"`)
 		distTable = flag.String("disttable", "auto", `bulk distance-table precompute for -metric network:
 "auto" (size-gated), "off", or a float64-cell memory budget (e.g. 16000000)`)
 		timeout = flag.Duration("timeout", 0, `abort the solve after this long (e.g. 30s, 2m; 0 = no limit);
@@ -87,6 +89,16 @@ units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 		// shortest-path travel distances over it.
 		netMetric = cca.RoadNetworkMetric(*netGrid, expr.Space, *netSeed).(*netmetric.NetworkMetric)
 		netMetric.SetLandmarks(*landmarks)
+		switch strings.ToLower(*ch) {
+		case "", "auto":
+		case "off":
+			netMetric.SetCH(0)
+		case "on":
+			netMetric.SetCH(1)
+		default:
+			fmt.Fprintf(os.Stderr, "ccarun: -ch must be auto, off, or on (got %q)\n", *ch)
+			os.Exit(2)
+		}
 		opts.Core.Metric = netMetric
 		switch strings.ToLower(*distTable) {
 		case "", "auto":
@@ -127,8 +139,13 @@ units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 	fmt.Printf("algorithm      %s (%s)\n", strings.ToUpper(res.Solver), res.Kind)
 	if netMetric != nil {
 		st := netMetric.Stats()
-		fmt.Printf("metric         network (%d nodes, %d edges; %d landmarks; node-cache hit rate %.1f%%)\n",
-			netMetric.NumNodes(), netMetric.NumEdges(), netMetric.Landmarks(), 100*st.NodeHitRate())
+		chState := "off"
+		if netMetric.CH() {
+			q, f := netMetric.CHStats()
+			chState = fmt.Sprintf("on (%d queries, %d fallbacks)", q, f)
+		}
+		fmt.Printf("metric         network (%d nodes, %d edges; %d landmarks; ch %s; node-cache hit rate %.1f%%)\n",
+			netMetric.NumNodes(), netMetric.NumEdges(), netMetric.Landmarks(), chState, 100*st.NodeHitRate())
 	} else {
 		fmt.Printf("metric         euclidean\n")
 	}

@@ -160,6 +160,7 @@ type Engine struct {
 	mu     sync.Mutex
 	pool   *sched.Pool
 	cache  *lru.Cache[resultKey, *SolverResult]
+	tables *lru.Cache[tableKey, *tableEntry]
 	closed bool
 }
 

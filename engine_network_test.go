@@ -45,6 +45,76 @@ func networkBatch(t testing.TB, instances int) ([]Instance, *Customers, *netmetr
 	return batch, customers, metric
 }
 
+// TestEngineSharedTableMemo: a batch repeating one provider set across
+// solvers must build the bulk distance table once (engine memo) and
+// serve every other instance from it, with results byte-identical to
+// the table-disabled point-query path.
+func TestEngineSharedTableMemo(t *testing.T) {
+	space := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+	net := datagen.NewNetwork(16, space, 2008)
+	metric := netmetric.FromNetwork(net)
+
+	cpts := net.Points(datagen.Config{N: 500, Dist: datagen.Clustered, Seed: 5})
+	customers, err := IndexCustomers(cpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer customers.Close()
+
+	// 10 providers × 500 customers = 5000 pairs, over DistTableMinPairs,
+	// so every instance qualifies for the shared table.
+	qpts := net.Points(datagen.Config{N: 10, Dist: datagen.Uniform, Seed: 42})
+	caps := datagen.Capacities(len(qpts), 20, 60, 7)
+	providers := make([]Provider, len(qpts))
+	for q := range providers {
+		providers[q] = Provider{Pt: qpts[q], Cap: caps[q]}
+	}
+	solvers := []string{"ida", "nia", "ria", "sspa", "greedy"}
+	batch := make([]Instance, len(solvers))
+	for i, s := range solvers {
+		in := Instance{Label: s, Providers: providers, Customers: customers, Solver: s}
+		in.Options.Core.Metric = metric
+		batch[i] = in
+	}
+
+	eng := &Engine{Workers: 4}
+	defer eng.Close()
+	got, err := eng.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fleet.Solved != len(batch) {
+		t.Fatalf("solved %d of %d", got.Fleet.Solved, len(batch))
+	}
+	st := eng.TableMemoStats()
+	if st.Misses != 1 || st.Hits != uint64(len(batch)-1) {
+		t.Errorf("table memo: %d misses / %d hits, want 1 / %d (one build, shared by the rest)",
+			st.Misses, st.Hits, len(batch)-1)
+	}
+
+	// Point-query reference: same batch with the precompute disabled.
+	ref := make([]Instance, len(batch))
+	copy(ref, batch)
+	for i := range ref {
+		ref[i].Options.Core.DistTable = -1
+	}
+	refEng := &Engine{Workers: 1}
+	defer refEng.Close()
+	want, err := refEng.Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := refEng.TableMemoStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("disabled precompute still touched the memo: %+v", s)
+	}
+	for i := range batch {
+		a, b := fingerprint(got.Results[i]), fingerprint(want.Results[i])
+		if a != b {
+			t.Errorf("solver %s: shared table diverged from point queries:\ntable: %s\npoint: %s", solvers[i], a, b)
+		}
+	}
+}
+
 // TestEngineBatchNetworkMetric runs a parallel batch over one shared
 // NetworkMetric and asserts (a) no result depends on scheduling — the
 // parallel run is byte-identical to the sequential one even though the

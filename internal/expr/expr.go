@@ -72,6 +72,15 @@ var netDistTable = 0
 // SetLandmarks sets the ALT landmark count for network workloads.
 func SetLandmarks(k int) { netLandmarks = k }
 
+// netCH carries ccabench's -ch flag into every network workload:
+// -1 = automatic by network size (the package default), 0 = hierarchy
+// disabled, 1 = forced on. Purely a performance knob — distances are
+// byte-identical either way.
+var netCH = -1
+
+// SetCH sets the contraction-hierarchy mode for network workloads.
+func SetCH(v int) { netCH = v }
+
 // SetDistTable sets the bulk distance-table gate threaded into every
 // sweep's options.
 func SetDistTable(v int) { netDistTable = v }
@@ -152,6 +161,7 @@ func BuildOnGrid(p Params, grid int) (*Workload, error) {
 	if metricName == netmetric.Name {
 		m := netmetric.FromNetwork(net)
 		m.SetLandmarks(netLandmarks)
+		m.SetCH(netCH)
 		metric = m
 	}
 	qpts := net.Points(datagen.Config{N: p.NQ, Dist: p.DistQ, Seed: p.Seed + 1})
@@ -213,6 +223,10 @@ type Row struct {
 	Quality float64 // Ψ/Ψopt for approximate methods (0 when unset)
 	Size    int
 	KeyUpd  int // IDA key updates
+	// QueryNS is the mean cold point-query latency of the row's distance
+	// backend, measured on a fresh metric separate from the solve (net
+	// sweep only; 0 elsewhere and in pre-measurement baselines).
+	QueryNS time.Duration
 }
 
 // runExact executes one algorithm cold (cache dropped, stats reset) by

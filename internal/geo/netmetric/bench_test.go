@@ -46,12 +46,14 @@ func BenchmarkNetworkMetricCold(b *testing.B) {
 
 // BenchmarkNetworkMetricPointQuery compares the cold point-query
 // backends on identical node pairs: the legacy bidirectional baseline,
-// the plain forward Dijkstra, and the default ALT A* (whose one-time
-// landmark build is excluded here — BENCH_net.json charges it to the
-// end-to-end solve where it belongs).
+// the plain forward Dijkstra, the default ALT A*, and the contraction
+// hierarchy (one-time preprocessing is excluded here — BENCH_net.json
+// charges it to the end-to-end solve where it belongs).
 func BenchmarkNetworkMetricPointQuery(b *testing.B) {
 	m := FromNetwork(datagen.NewNetwork(32, space, 2008))
+	m.SetCH(1)
 	lm := m.landmarks()
+	ch := m.hierarchy()
 	pairs := testPairs(m, 1024, 11)
 	b.Run("bidi", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -69,6 +71,58 @@ func BenchmarkNetworkMetricPointQuery(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pr := pairs[i%len(pairs)]
 			sinkDist = m.astar(pr[0], pr[1], lm)
+		}
+	})
+	b.Run("ch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := pairs[i%len(pairs)]
+			sinkDist = m.chDist(ch, pr[0], pr[1])
+		}
+	})
+}
+
+// BenchmarkCHLargeGrid is the scale the hierarchy exists for: cold
+// point queries on the 128x128 benchmark grid (16384 nodes), where ALT
+// still expands thousands of nodes per query. The build sub-benchmark
+// prices the one-time contraction so the preprocessing cost stays
+// visible next to the per-query win; CI smokes this family with
+// -bench=CH -benchtime=1x.
+func BenchmarkCHLargeGrid(b *testing.B) {
+	net := datagen.NewNetwork(128, space, 2008)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := FromNetwork(net)
+			m.SetCH(1)
+			if m.hierarchy() == nil {
+				b.Fatal("hierarchy did not build")
+			}
+		}
+	})
+	m := FromNetwork(net)
+	m.SetCH(1)
+	ch := m.hierarchy()
+	lm := m.landmarks()
+	pairs := testPairs(m, 4096, 11)
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := pairs[i%len(pairs)]
+			sinkDist = m.chDist(ch, pr[0], pr[1])
+		}
+	})
+	b.Run("alt-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := pairs[i%len(pairs)]
+			sinkDist = m.astar(pr[0], pr[1], lm)
+		}
+	})
+	// The solver shape: one provider queried against a run of
+	// customers, which is what the scatter fast path in chDist exists
+	// for. Rotate the source every 4096 queries, mirroring a solve's
+	// per-provider edge batches.
+	b.Run("query-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src := pairs[(i/4096)%len(pairs)][0]
+			sinkDist = m.chDist(ch, src, pairs[i%len(pairs)][1])
 		}
 	})
 }
@@ -118,5 +172,23 @@ func BenchmarkEuclideanBaseline(b *testing.B) {
 	pts := datagen.NewNetwork(32, space, 2008).Points(datagen.Config{N: 1024, Dist: datagen.Clustered, Seed: 3})
 	for i := 0; i < b.N; i++ {
 		sinkDist = geo.Euclidean.Dist(pts[i%len(pts)], pts[(i*17+5)%len(pts)])
+	}
+}
+
+// BenchmarkCHConeBuild prices one cold hub-label cone on the 128-grid
+// hierarchy — the dominant cost of a cold CH point query (a probe pays
+// up to two of these for never-seen endpoints), and the number the
+// topological heap-free build keeps small.
+func BenchmarkCHConeBuild(b *testing.B) {
+	net := datagen.NewNetwork(128, space, 2008)
+	m := FromNetwork(net)
+	m.SetCH(1)
+	ch := m.hierarchy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.buildCone(ch, int32(i%len(m.nodes)))
+		if len(c.nodes) == 0 {
+			b.Fatal("empty cone")
+		}
 	}
 }

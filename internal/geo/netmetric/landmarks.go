@@ -7,12 +7,30 @@ import (
 	"repro/internal/geo"
 )
 
-// DefaultLandmarks is the landmark count a new NetworkMetric selects.
-// Eight farthest-point landmarks are the classic ALT sweet spot for
-// planar road networks: enough directional coverage that the triangle
-// lower bound is tight along most query axes, cheap enough that
-// preprocessing stays a handful of single-source sweeps.
+// DefaultLandmarks is the landmark count automatic mode selects for
+// mid-sized networks. Eight farthest-point landmarks are the classic
+// ALT sweet spot for planar road networks: enough directional coverage
+// that the triangle lower bound is tight along most query axes, cheap
+// enough that preprocessing stays a handful of single-source sweeps.
 const DefaultLandmarks = 8
+
+// AutoLandmarks returns the landmark count automatic mode (the
+// default, or SetLandmarks with a negative count) selects for a
+// network of n nodes. Small networks need little directional coverage
+// — each sweep is cheap but so are the queries it prunes — while
+// large ones amortize more landmarks over far more expensive searches.
+// The middle band keeps DefaultLandmarks, so the benchmarked 128-grid
+// workloads are unchanged by auto-tuning.
+func AutoLandmarks(n int) int {
+	switch {
+	case n < 4096:
+		return 4
+	case n < 65536:
+		return DefaultLandmarks
+	default:
+		return 16
+	}
+}
 
 // landmarkState holds the ALT preprocessing output: the chosen landmark
 // nodes and, for every network node, its shortest-path distance to each
@@ -50,32 +68,40 @@ func (ls *landmarkState) lbNodes(a, b int32) float64 {
 }
 
 // SetLandmarks configures the ALT landmark count: 0 disables landmark
-// pruning entirely (plain forward Dijkstra), negative values
-// restore DefaultLandmarks. Like SetCacheCapacity it must run during
-// setup, before the metric is shared across goroutines: it drops any
-// built landmark state without synchronization. Counts larger than the
-// node count are clamped at build time.
+// pruning entirely (plain forward Dijkstra), positive counts override,
+// negative values restore automatic selection (AutoLandmarks by node
+// count, the default). Like SetCacheCapacity it must run during setup,
+// before the metric is shared across goroutines: it drops any built
+// landmark state without synchronization. Counts larger than the node
+// count are clamped at build time.
 func (m *NetworkMetric) SetLandmarks(k int) {
 	if k < 0 {
-		k = DefaultLandmarks
+		k = -1
 	}
 	m.lmCount = k
 	m.lmOnce = new(sync.Once)
 	m.lm = nil
 }
 
-// Landmarks returns the configured landmark count (0 when disabled).
-func (m *NetworkMetric) Landmarks() int { return m.lmCount }
+// Landmarks returns the effective landmark count (0 when disabled),
+// with automatic mode resolved against the network size.
+func (m *NetworkMetric) Landmarks() int {
+	if m.lmCount < 0 {
+		return AutoLandmarks(len(m.nodes))
+	}
+	return m.lmCount
+}
 
 // landmarks returns the lazily built landmark state, or nil when
 // disabled. The build runs at most once per configuration; concurrent
 // first callers block on the same sync.Once, so a metric shared across
 // engine workers pays the preprocessing exactly once.
 func (m *NetworkMetric) landmarks() *landmarkState {
-	if m.lmCount <= 0 {
+	k := m.Landmarks()
+	if k <= 0 {
 		return nil
 	}
-	m.lmOnce.Do(func() { m.lm = m.buildLandmarks(m.lmCount) })
+	m.lmOnce.Do(func() { m.lm = m.buildLandmarks(k) })
 	return m.lm
 }
 

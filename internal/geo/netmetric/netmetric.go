@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/lru"
@@ -71,6 +72,7 @@ type snapPos struct {
 const (
 	DefaultSnapCacheSize = 1 << 17 // ≈131K snapped points
 	DefaultNodeCacheSize = 1 << 19 // ≈524K node-pair distances
+	DefaultPairCacheSize = 1 << 20 // ≈1M finished point-pair distances
 )
 
 // cacheShards is the lock-shard count of the snap and node-pair caches.
@@ -90,6 +92,9 @@ type CacheStats struct {
 	SnapHits      uint64 // snap positions served from the cache
 	SnapMisses    uint64 // snap positions computed against the edge grid
 	SnapEvictions uint64 // snap entries displaced by the LRU bound
+	PairHits      uint64 // whole Dist calls served from the point-pair cache
+	PairMisses    uint64 // Dist calls that ran the snap + node-pair path
+	PairEvictions uint64 // point-pair entries displaced by the LRU bound
 }
 
 // NodeHitRate returns the fraction of node-pair lookups served from the
@@ -118,15 +123,40 @@ type NetworkMetric struct {
 
 	// ALT landmark state, built lazily on first shortest-path query
 	// (see landmarks.go). lmCount is the configured landmark count;
-	// 0 disables ALT pruning. legacyBidi reroutes point queries to the
-	// pre-ALT bidirectional Dijkstra (benchmark baseline only).
+	// 0 disables ALT pruning, negative selects AutoLandmarks by node
+	// count. legacyBidi reroutes point queries to the pre-ALT
+	// bidirectional Dijkstra (benchmark baseline only).
 	lmCount    int
 	lmOnce     *sync.Once
 	lm         *landmarkState
 	legacyBidi bool
 
+	// Contraction-hierarchy state, built lazily like the landmarks
+	// (see ch.go). chMode: −1 auto by network size, 0 off, 1 on.
+	chMode                 int
+	chOnce                 *sync.Once
+	ch                     *chState
+	chQueries, chFallbacks atomic.Uint64
+
+	// Cone (hub-label) cache of the hierarchy backend: node → its
+	// upward search space, built lazily per queried node (see ch.go).
+	chLabelMu sync.RWMutex
+	chLabels  map[int32]*chCone
+	chLabelN  int
+
 	nodeCache *lru.Sharded[[2]int32, float64]
 	snapCache *lru.Sharded[geo.Point, snapPos]
+	pairCache *lru.Sharded[pointPair, float64]
+}
+
+// pointPair keys the finished-distance cache by the ordered query
+// points themselves. Solvers re-evaluate the same provider–customer
+// edge many times across augmenting iterations, and each repeat through
+// the layered path costs two snap lookups plus four node-pair lookups;
+// one hit here replaces all six. Ordered (not normalized) because Dist
+// is canonical per ordered pair, like the node-pair cache.
+type pointPair struct {
+	p, q geo.Point
 }
 
 // New builds a NetworkMetric from nodes and undirected edges. Edge
@@ -142,10 +172,13 @@ func New(nodes []geo.Point, edges [][2]int32) (*NetworkMetric, error) {
 	m := &NetworkMetric{
 		nodes:     append([]geo.Point(nil), nodes...),
 		realEdges: len(edges),
-		lmCount:   DefaultLandmarks,
+		lmCount:   -1, // automatic: AutoLandmarks by node count
 		lmOnce:    new(sync.Once),
+		chMode:    -1, // automatic: on at DefaultCHMinNodes nodes
+		chOnce:    new(sync.Once),
 		nodeCache: lru.NewSharded[[2]int32, float64](DefaultNodeCacheSize, cacheShards),
 		snapCache: lru.NewSharded[geo.Point, snapPos](DefaultSnapCacheSize, cacheShards),
+		pairCache: lru.NewSharded[pointPair, float64](DefaultPairCacheSize, cacheShards),
 	}
 	m.edges = make([][2]int32, len(edges), len(edges)+8)
 	copy(m.edges, edges)
@@ -182,10 +215,12 @@ func (m *NetworkMetric) Bridges() int { return len(m.edges) - m.realEdges }
 
 // SetCacheCapacity rebuilds the snap and node-pair caches with the
 // given entry bounds (values < 1 keep the defaults), dropping any
-// cached content and counters. It swaps the cache pointers without
-// synchronization, so it must be called during setup, before the
-// metric is shared across goroutines — resizing while Dist runs
-// concurrently is a data race.
+// cached content and counters. The point-pair cache is rebuilt at its
+// default size, scaled down to the node-pair bound when that is smaller
+// (a caller shrinking the layered caches wants the top layer bounded
+// too). It swaps the cache pointers without synchronization, so it must
+// be called during setup, before the metric is shared across goroutines
+// — resizing while Dist runs concurrently is a data race.
 func (m *NetworkMetric) SetCacheCapacity(snapEntries, nodeEntries int) {
 	if snapEntries < 1 {
 		snapEntries = DefaultSnapCacheSize
@@ -195,12 +230,14 @@ func (m *NetworkMetric) SetCacheCapacity(snapEntries, nodeEntries int) {
 	}
 	m.snapCache = lru.NewSharded[geo.Point, snapPos](snapEntries, cacheShards)
 	m.nodeCache = lru.NewSharded[[2]int32, float64](nodeEntries, cacheShards)
+	m.pairCache = lru.NewSharded[pointPair, float64](min(DefaultPairCacheSize, nodeEntries*2), cacheShards)
 }
 
 // Stats returns a snapshot of the cache counters.
 func (m *NetworkMetric) Stats() CacheStats {
 	node := m.nodeCache.Stats()
 	snap := m.snapCache.Stats()
+	pair := m.pairCache.Stats()
 	return CacheStats{
 		NodeHits:      node.Hits,
 		NodeMisses:    node.Misses,
@@ -208,15 +245,29 @@ func (m *NetworkMetric) Stats() CacheStats {
 		SnapHits:      snap.Hits,
 		SnapMisses:    snap.Misses,
 		SnapEvictions: snap.Evictions,
+		PairHits:      pair.Hits,
+		PairMisses:    pair.Misses,
+		PairEvictions: pair.Evictions,
 	}
 }
 
 // Dist implements geo.Metric: offset(p) + travel(snap(p), snap(q)) +
-// offset(q).
+// offset(q). The finished value is memoized per ordered point pair:
+// solvers re-evaluate edges across augmenting iterations, and serving
+// the repeat from one lookup instead of re-walking the snap and
+// node-pair layers is the difference between the metric and the solver
+// dominating a large solve. Racing misses compute identical values, so
+// the duplicate Put is harmless.
 func (m *NetworkMetric) Dist(p, q geo.Point) float64 {
+	k := pointPair{p: p, q: q}
+	if d, ok := m.pairCache.Get(k); ok {
+		return d
+	}
 	sp := m.snap(p)
 	sq := m.snap(q)
-	return sp.offset + m.pathDist(sp, sq) + sq.offset
+	d := sp.offset + m.pathDist(sp, sq) + sq.offset
+	m.pairCache.Put(k, d)
+	return d
 }
 
 // Snap returns p's position on the network (the nearest point of the
@@ -312,12 +363,16 @@ func (m *NetworkMetric) nodeDist(a, b int32) float64 {
 }
 
 // searchDist runs one cold point query a→b with the configured backend:
-// ALT A* when landmarks are enabled (the default), plain forward
-// Dijkstra when disabled, or the legacy bidirectional baseline when
-// benchmarking. The first two return the identical canonical float.
+// the contraction hierarchy when enabled (large networks by default),
+// ALT A* when landmarks are enabled, plain forward Dijkstra when both
+// are disabled, or the legacy bidirectional baseline when benchmarking.
+// All but the baseline return the identical canonical float.
 func (m *NetworkMetric) searchDist(a, b int32) float64 {
 	if m.legacyBidi {
 		return m.bidiDijkstra(a, b)
+	}
+	if ch := m.hierarchy(); ch != nil {
+		return m.chDist(ch, a, b)
 	}
 	if lm := m.landmarks(); lm != nil {
 		return m.astar(a, b, lm)

@@ -183,18 +183,32 @@ func TestCacheStats(t *testing.T) {
 	q := geo.Point{X: 800, Y: 700}
 	m.Dist(p, q)
 	first := m.Stats()
-	if first.NodeMisses == 0 || first.SnapMisses != 2 {
+	if first.NodeMisses == 0 || first.SnapMisses != 2 || first.PairMisses != 1 {
 		t.Fatalf("expected cold misses, got %+v", first)
 	}
+	// A finished point pair is memoized whole: the repeat answers from
+	// the pair cache without touching the snap or node layers at all.
 	m.Dist(p, q)
 	second := m.Stats()
-	if second.NodeMisses != first.NodeMisses {
-		t.Errorf("repeat query recomputed node distances: %+v -> %+v", first, second)
+	if second.PairHits != first.PairHits+1 {
+		t.Errorf("repeat query missed the pair cache: %+v -> %+v", first, second)
 	}
-	if second.NodeHits == first.NodeHits || second.SnapHits != first.SnapHits+2 {
-		t.Errorf("repeat query missed the caches: %+v -> %+v", first, second)
+	if second.NodeMisses != first.NodeMisses || second.SnapMisses != first.SnapMisses ||
+		second.SnapHits != first.SnapHits || second.NodeHits != first.NodeHits {
+		t.Errorf("repeat query fell through the pair cache: %+v -> %+v", first, second)
 	}
-	if r := second.NodeHitRate(); r <= 0 || r >= 1 {
+	// New point pairs resolving to already-searched node pairs are
+	// served by the inner layers: the node-pair entries written by the
+	// first query satisfy a direct node query without a new search.
+	m.NodeDist(m.SnapNode(p), m.SnapNode(q))
+	third := m.Stats()
+	if third.NodeMisses != second.NodeMisses || third.NodeHits != second.NodeHits+1 {
+		t.Errorf("known node pair re-searched: %+v -> %+v", second, third)
+	}
+	if third.SnapHits != second.SnapHits+2 {
+		t.Errorf("known snaps recomputed: %+v -> %+v", second, third)
+	}
+	if r := third.NodeHitRate(); r <= 0 || r >= 1 {
 		t.Errorf("NodeHitRate = %g, want in (0,1)", r)
 	}
 }

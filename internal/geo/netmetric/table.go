@@ -46,6 +46,7 @@ func (m *NetworkMetric) BuildTable(sources []geo.Point, budget int) *Table {
 	n := len(m.nodes)
 	t := &Table{NetworkMetric: m, vecIdx: make(map[int32]int32, 2*len(sources))}
 	var h nheap
+	var order []int32
 	for _, p := range sources {
 		sp := m.snap(p)
 		for _, v := range m.edges[sp.edge] {
@@ -57,7 +58,7 @@ func (m *NetworkMetric) BuildTable(sources []geo.Point, budget int) *Table {
 			}
 			t.vecIdx[v] = int32(len(t.vecIdx))
 			t.vecs = append(t.vecs, make([]float64, n)...)
-			m.sssp(v, t.vecs[len(t.vecs)-n:], &h)
+			m.bulkSSSP(v, t.vecs[len(t.vecs)-n:], &h, &order)
 		}
 	}
 	return t
@@ -117,6 +118,7 @@ type m2mScratch struct {
 	vecIdx map[int32]int32
 	vecs   []float64
 	heap   nheap
+	order  []int32 // chSSSP replay-order buffer
 }
 
 var m2mPool = sync.Pool{New: func() any { return &m2mScratch{vecIdx: make(map[int32]int32)} }}
@@ -164,7 +166,7 @@ func (m *NetworkMetric) ManyToManyInto(sources, targets []geo.Point, out []float
 					s.vecs = append(s.vecs[:cap(s.vecs)], 0)
 				}
 				s.vecs = s.vecs[:int(r+1)*n]
-				m.sssp(v, s.vecs[int(r)*n:int(r+1)*n], &s.heap)
+				m.bulkSSSP(v, s.vecs[int(r)*n:int(r+1)*n], &s.heap, &s.order)
 			}
 			ri[k] = r
 		}

@@ -45,13 +45,21 @@ type Cache[K comparable, V any] struct {
 // New returns a cache bounded to capacity entries. Capacities < 1 are
 // clamped to 1: a zero-capacity LRU is indistinguishable from a bug at
 // the call site, and callers that want "no cache" should not build one.
+// The map grows on demand rather than preallocating the full bound —
+// million-entry capacities are working-set ceilings, not expected
+// sizes, and a fresh metric's caches should not cost tens of megabytes
+// of empty buckets.
 func New[K comparable, V any](capacity int) *Cache[K, V] {
+	hint := capacity
+	if hint > 4096 {
+		hint = 4096
+	}
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &Cache[K, V]{
 		cap:     capacity,
-		entries: make(map[K]*entry[K, V], capacity),
+		entries: make(map[K]*entry[K, V], hint),
 	}
 }
 

@@ -262,7 +262,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if nets[i].key.grid != nets[j].key.grid {
 			return nets[i].key.grid < nets[j].key.grid
 		}
-		return nets[i].key.seed < nets[j].key.seed
+		if nets[i].key.seed != nets[j].key.seed {
+			return nets[i].key.seed < nets[j].key.seed
+		}
+		if nets[i].key.landmarks != nets[j].key.landmarks {
+			return nets[i].key.landmarks < nets[j].key.landmarks
+		}
+		return nets[i].key.ch < nets[j].key.ch
 	})
 	p.header("ccad_netmetric_node_cache_hits_total", "Node-pair distances served from a network metric's cache (a hit avoids a bidirectional Dijkstra).", "counter")
 	p.header("ccad_netmetric_node_cache_misses_total", "Node-pair distances computed by Dijkstra.", "counter")
@@ -270,15 +276,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.header("ccad_netmetric_snap_cache_hits_total", "Point snap positions served from cache.", "counter")
 	p.header("ccad_netmetric_snap_cache_misses_total", "Point snap positions computed against the edge grid.", "counter")
 	p.header("ccad_netmetric_snap_cache_evictions_total", "Snap entries displaced by the LRU bound.", "counter")
+	p.header("ccad_netmetric_pair_cache_hits_total", "Finished point-pair distances served whole from a network metric's cache (a hit skips the snap and node layers entirely).", "counter")
+	p.header("ccad_netmetric_pair_cache_misses_total", "Point-pair distances assembled from the snap and node layers.", "counter")
+	p.header("ccad_netmetric_pair_cache_evictions_total", "Point-pair entries displaced by the LRU bound.", "counter")
 	for _, n := range nets {
 		st := n.m.Stats()
-		labels := fmt.Sprintf("network=%q", fmt.Sprintf("grid%d-seed%d", n.key.grid, n.key.seed))
+		labels := fmt.Sprintf("network=%q", fmt.Sprintf("grid%d-seed%d-lm%d-ch%d", n.key.grid, n.key.seed, n.key.landmarks, n.key.ch))
 		p.labeled("ccad_netmetric_node_cache_hits_total", labels, float64(st.NodeHits))
 		p.labeled("ccad_netmetric_node_cache_misses_total", labels, float64(st.NodeMisses))
 		p.labeled("ccad_netmetric_node_cache_evictions_total", labels, float64(st.NodeEvictions))
 		p.labeled("ccad_netmetric_snap_cache_hits_total", labels, float64(st.SnapHits))
 		p.labeled("ccad_netmetric_snap_cache_misses_total", labels, float64(st.SnapMisses))
 		p.labeled("ccad_netmetric_snap_cache_evictions_total", labels, float64(st.SnapEvictions))
+		p.labeled("ccad_netmetric_pair_cache_hits_total", labels, float64(st.PairHits))
+		p.labeled("ccad_netmetric_pair_cache_misses_total", labels, float64(st.PairMisses))
+		p.labeled("ccad_netmetric_pair_cache_evictions_total", labels, float64(st.PairEvictions))
 	}
 }
 

@@ -116,14 +116,16 @@ type Server struct {
 	stats counters
 }
 
-// netKey identifies a synthetic road network and its ALT landmark
-// configuration. Landmark preprocessing mutates the metric (per-landmark
-// distance vectors), so two requests with different landmark counts
-// cannot share one instance; the count is part of the identity.
+// netKey identifies a synthetic road network and its ALT landmark /
+// contraction-hierarchy configuration. Landmark and hierarchy
+// preprocessing mutate the metric (per-landmark distance vectors, the
+// up/down graphs), so two requests with different counts or modes
+// cannot share one instance; both are part of the identity.
 type netKey struct {
 	grid      int
 	seed      int64
 	landmarks int // resolved count: 0 = landmark pruning disabled
+	ch        int // resolved mode: 0 = hierarchy off, 1 = on
 }
 
 // netEntry is one network's lazily built metric.
@@ -140,6 +142,7 @@ func (e *netEntry) metric(key netKey) *netmetric.NetworkMetric {
 	e.once.Do(func() {
 		m := cca.RoadNetworkMetric(key.grid, netSpace, key.seed).(*netmetric.NetworkMetric)
 		m.SetLandmarks(key.landmarks)
+		m.SetCH(key.ch)
 		e.m = m
 		e.done.Store(true)
 	})
@@ -265,14 +268,17 @@ const (
 )
 
 // networkMetric returns the shared road-network metric for (grid, seed,
-// landmarks), building it on first use. Concurrent requests for the
+// landmarks, ch), building it on first use. Concurrent requests for the
 // same cold network share one build, and the build never blocks the map
 // lock (so other networks' requests and /metrics scrapes proceed
 // meanwhile). landmarks carries the wire encoding: 0 selects the
 // default count, -1 disables landmark pruning, positive values pick an
 // explicit count (each landmark costs one SSSP at build plus one O(V)
 // distance vector for the life of the process, hence the bound).
-func (s *Server) networkMetric(grid int, seed int64, landmarks int) (*netmetric.NetworkMetric, error) {
+// ch likewise: 0 = automatic (hierarchy on at DefaultCHMinNodes), 1 =
+// forced on, -1 = off; the mode is resolved against the grid's node
+// count here so "auto" and its resolution share one memo entry.
+func (s *Server) networkMetric(grid int, seed int64, landmarks, ch int) (*netmetric.NetworkMetric, error) {
 	if grid < MinNetGrid || grid > MaxNetGrid {
 		return nil, fmt.Errorf("net_grid %d out of range [%d, %d]", grid, MinNetGrid, MaxNetGrid)
 	}
@@ -284,7 +290,18 @@ func (s *Server) networkMetric(grid int, seed int64, landmarks int) (*netmetric.
 	case landmarks < -1 || landmarks > MaxNetLandmarks:
 		return nil, fmt.Errorf("net_landmarks %d out of range [-1, %d]", landmarks, MaxNetLandmarks)
 	}
-	key := netKey{grid: grid, seed: seed, landmarks: landmarks}
+	switch ch {
+	case 0:
+		if grid*grid >= netmetric.DefaultCHMinNodes {
+			ch = 1
+		} else {
+			ch = -1
+		}
+	case 1, -1:
+	default:
+		return nil, fmt.Errorf("net_ch %d invalid (-1 = off, 0 = auto, 1 = on)", ch)
+	}
+	key := netKey{grid: grid, seed: seed, landmarks: landmarks, ch: max(0, ch)}
 	s.netMu.Lock()
 	e, ok := s.netMetrics[key]
 	if !ok {

@@ -679,7 +679,8 @@ func TestMetricsExposition(t *testing.T) {
 		"ccad_sessions_created_total 1",
 		"ccad_sessions_arrivals_total 1",
 		"ccad_sessions_arrivals_matched_total 1",
-		`ccad_netmetric_node_cache_hits_total{network="grid8-seed3"}`,
+		`ccad_netmetric_node_cache_hits_total{network="grid8-seed3-lm8-ch0"}`,
+		`ccad_netmetric_pair_cache_hits_total{network="grid8-seed3-lm8-ch0"}`,
 		// Inline per-request datasets can never repeat, so they must
 		// bypass the result cache entirely — no misses, no dead inserts
 		// evicting named-dataset entries.

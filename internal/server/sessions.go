@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	cca "repro"
@@ -80,8 +81,9 @@ func (st *sessionStore) count() int {
 // handleSessionCreate serves POST /v1/sessions: it builds a server-held
 // incremental matcher over the request's providers, so each subsequent
 // /arrive costs one augmenting path (or swap) instead of a re-solve.
-// Sessions measure Euclidean distance — the incremental matcher's
-// setting.
+// Sessions measure Euclidean distance by default; metric "network"
+// routes every incremental assignment through the shared road-network
+// metric (same memo and bounds as batch solves).
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -109,8 +111,29 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		providers[i] = cca.Provider{Pt: cca.Point{X: q.X, Y: q.Y}, Cap: q.Cap}
 		capacity += q.Cap
 	}
+	opts := cca.DynamicOptions{ReoptBudget: req.ReoptBudget}
+	switch strings.ToLower(req.Metric) {
+	case "", "euclidean":
+	case "network":
+		grid, seed := req.NetGrid, req.NetSeed
+		if grid == 0 {
+			grid = 32
+		}
+		if seed == 0 {
+			seed = 2008
+		}
+		m, err := s.networkMetric(grid, seed, req.NetLandmarks, req.NetCH)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts.Metric = m
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown metric %q (euclidean, network)", req.Metric))
+		return
+	}
 	sess := &session{
-		m: cca.NewDynamicMatcherOpts(providers, cca.DynamicOptions{ReoptBudget: req.ReoptBudget}),
+		m: cca.NewDynamicMatcherOpts(providers, opts),
 	}
 	id, err := s.sessions.add(sess)
 	if err != nil {

@@ -126,6 +126,111 @@ func TestSessionChurnConformance(t *testing.T) {
 	}
 }
 
+// TestSessionChurnNetworkConformance replays a churn stream through a
+// network-metric session and through an in-process DynamicMatcher over
+// the same road network, asserting byte-identical sizes and costs at
+// every event. The session forces the contraction hierarchy on
+// (net_ch: 1) while the in-process reference keeps it off, so any
+// divergence between hierarchy queries and plain forward Dijkstra
+// surfaces here as a cost mismatch — the canonical-float contract,
+// checked end to end through the wire.
+func TestSessionChurnNetworkConformance(t *testing.T) {
+	h := testServer(t, server.Config{})
+	ctx := context.Background()
+	w := churnWorkload(t, "ridehail", 200, 5, 23)
+	core, wire := sessionProviders(w)
+
+	const grid, seed = 16, int64(77)
+	info, err := h.c.NewSession(ctx, client.SessionRequest{
+		Providers: wire,
+		Metric:    "network",
+		NetGrid:   grid,
+		NetSeed:   seed,
+		NetCH:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMetric := cca.RoadNetworkMetric(grid, cca.Rect{Max: cca.Point{X: 1000, Y: 1000}}, seed)
+	ref := cca.NewDynamicMatcherOpts(core, cca.DynamicOptions{Metric: refMetric})
+
+	for i, ev := range w.Events {
+		switch ev.Kind {
+		case datagen.EventArrive:
+			resp, err := h.c.Arrive(ctx, info.ID, client.ArriveRequest{ID: ev.ID, X: ev.Pt.X, Y: ev.Pt.Y})
+			if err != nil {
+				t.Fatalf("event %d arrive: %v", i, err)
+			}
+			wantMatched, err := ref.Arrive(cca.Point{X: ev.Pt.X, Y: ev.Pt.Y}, ev.ID)
+			if err != nil {
+				t.Fatalf("event %d ref arrive: %v", i, err)
+			}
+			if resp.Matched != wantMatched || resp.Size != ref.Size() || resp.Cost != ref.Cost() {
+				t.Fatalf("event %d arrive: got (%v,%d,%v), in-process (%v,%d,%v)",
+					i, resp.Matched, resp.Size, resp.Cost, wantMatched, ref.Size(), ref.Cost())
+			}
+		case datagen.EventDepart:
+			resp, err := h.c.Depart(ctx, info.ID, client.DepartRequest{ID: ev.ID})
+			if err != nil {
+				t.Fatalf("event %d depart: %v", i, err)
+			}
+			wantMatched, err := ref.Depart(ev.ID)
+			if err != nil {
+				t.Fatalf("event %d ref depart: %v", i, err)
+			}
+			if resp.WasMatched != wantMatched || resp.Size != ref.Size() || resp.Cost != ref.Cost() {
+				t.Fatalf("event %d depart: got (%v,%d,%v), in-process (%v,%d,%v)",
+					i, resp.WasMatched, resp.Size, resp.Cost, wantMatched, ref.Size(), ref.Cost())
+			}
+		case datagen.EventResize:
+			resp, err := h.c.Resize(ctx, info.ID, client.ResizeRequest{Provider: ev.Provider, Cap: ev.NewCap})
+			if err != nil {
+				t.Fatalf("event %d resize: %v", i, err)
+			}
+			if err := ref.ResizeProvider(ev.Provider, ev.NewCap); err != nil {
+				t.Fatalf("event %d ref resize: %v", i, err)
+			}
+			if resp.Size != ref.Size() || resp.Cost != ref.Cost() || resp.Capacity != ref.Capacity() {
+				t.Fatalf("event %d resize: got (%d,%v,%d), in-process (%d,%v,%d)",
+					i, resp.Size, resp.Cost, resp.Capacity, ref.Size(), ref.Cost(), ref.Capacity())
+			}
+		}
+	}
+
+	got, err := h.c.Matching(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ref.Matching()
+	if got.Size != res.Size || got.Cost != res.Cost {
+		t.Fatalf("final matching: got size %d cost %v, in-process size %d cost %v",
+			got.Size, got.Cost, res.Size, res.Cost)
+	}
+}
+
+// TestSessionMetricErrors covers metric validation on session creation:
+// unknown metric names, out-of-range grids, and invalid hierarchy modes
+// are all 400.
+func TestSessionMetricErrors(t *testing.T) {
+	h := testServer(t, server.Config{})
+	ctx := context.Background()
+	providers := []client.Provider{{X: 0, Y: 0, Cap: 1}}
+
+	if _, err := h.c.NewSession(ctx, client.SessionRequest{Providers: providers, Metric: "manhattan"}); statusOf(err) != http.StatusBadRequest {
+		t.Fatalf("unknown metric: %v, want 400", err)
+	}
+	if _, err := h.c.NewSession(ctx, client.SessionRequest{Providers: providers, Metric: "network", NetGrid: 1}); statusOf(err) != http.StatusBadRequest {
+		t.Fatalf("grid too small: %v, want 400", err)
+	}
+	if _, err := h.c.NewSession(ctx, client.SessionRequest{Providers: providers, Metric: "network", NetCH: 7}); statusOf(err) != http.StatusBadRequest {
+		t.Fatalf("invalid net_ch: %v, want 400", err)
+	}
+	// Case-insensitive metric names, like solve instances.
+	if _, err := h.c.NewSession(ctx, client.SessionRequest{Providers: providers, Metric: "Network", NetGrid: 8}); err != nil {
+		t.Fatalf("capitalized metric name: %v", err)
+	}
+}
+
 // TestSessionChurnErrors covers the churn endpoints' failure statuses:
 // 409 for duplicate arrivals (including re-arriving a departed id),
 // 404 for unknown ids, sessions, and provider indices, and 400 for

@@ -257,7 +257,7 @@ func (s *Server) prepare(ctx context.Context, idx int, wi client.Instance) *prep
 		if seed == 0 {
 			seed = 2008
 		}
-		m, err := s.networkMetric(grid, seed, wi.NetLandmarks)
+		m, err := s.networkMetric(grid, seed, wi.NetLandmarks, wi.NetCH)
 		if err != nil {
 			return fail("%v", err)
 		}

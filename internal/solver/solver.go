@@ -189,10 +189,12 @@ func (s *funcSolver) Solve(ctx context.Context, providers []core.Provider, data 
 	return res, nil
 }
 
-// distTableMinPairs gates the bulk precompute: below this many
+// DistTableMinPairs gates the bulk precompute: below this many
 // provider×customer pairs the point-query path (with its warm caches)
-// wins, and the sweeps would dominate the solve.
-const distTableMinPairs = 1 << 12
+// wins, and the sweeps would dominate the solve. Exported so the batch
+// engine's shared-table memo applies the identical gate — an instance
+// small enough to skip the precompute here also skips the memo there.
+const DistTableMinPairs = 1 << 12
 
 // withDistTable swaps opts' metric for a provider-sourced bulk distance
 // table (netmetric.Table) when the metric is a road network, the
@@ -204,7 +206,7 @@ const distTableMinPairs = 1 << 12
 func withDistTable(providers []core.Provider, data Dataset, opts *Options) time.Duration {
 	nm, ok := opts.Core.Metric.(*netmetric.NetworkMetric)
 	if !ok || opts.Core.DistTable < 0 || len(providers) == 0 ||
-		len(providers)*data.Len() < distTableMinPairs {
+		len(providers)*data.Len() < DistTableMinPairs {
 		return 0
 	}
 	start := time.Now()

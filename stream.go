@@ -142,6 +142,14 @@ func (e *Engine) runOne(ctx context.Context, idx int, in Instance) (out Instance
 		}
 	}
 
+	// Inject the engine's shared bulk distance table, after the cache key
+	// is fixed (the key must identify the underlying network metric, not
+	// the table wrapping it). The solver registry sees a *netmetric.Table
+	// already in place and skips its own per-solve build.
+	if t := e.sharedTable(in); t != nil {
+		in.Options.Core.Metric = t
+	}
+
 	handle, err := in.Customers.Clone()
 	if err != nil {
 		out.Err = fmt.Errorf("cca: engine: instance %d: clone dataset: %w", idx, err)

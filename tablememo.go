@@ -1,0 +1,113 @@
+package cca
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/geo/netmetric"
+	"repro/internal/lru"
+	"repro/internal/solver"
+)
+
+// tableMemoSize bounds the engine's shared distance-table memo. Tables
+// are provider-sourced, so one entry per distinct (network, provider
+// set, budget) triple; batches rarely carry more than a handful.
+const tableMemoSize = 32
+
+// tableKey identifies one provider-sourced bulk distance table: the
+// network-metric instance (pointer identity — two metrics over the same
+// grid/seed still have independent caches and must not share tables)
+// plus a digest of the provider points and the table budget.
+type tableKey struct {
+	metric *netmetric.NetworkMetric
+	digest [32]byte
+}
+
+// tableEntry is one memoized table, built at most once. Concurrent
+// instances that race to the same key block on the first build instead
+// of sweeping the network once each.
+type tableEntry struct {
+	once sync.Once
+	t    *netmetric.Table
+}
+
+// sharedTable returns the memoized bulk distance table for in's
+// (metric, providers, budget), building it on first use, or nil when
+// the instance does not qualify: not a network metric, the precompute
+// disabled (DistTable < 0), or too few provider×customer pairs to
+// amortize the sweeps (the same gate the solver registry applies, so
+// memo and per-solve behavior agree).
+//
+// Without the memo, a batch that repeats one provider set across
+// instances — the same workload under every solver, or one dataset
+// swept over θ — rebuilds an identical table per instance; each build
+// is |Q| full-graph sweeps. The memo makes it one build per distinct
+// table. Safe because a table is immutable once built and returns
+// byte-identical distances to point queries (pinned by the network
+// backend conformance suite), so sharing never changes results.
+func (e *Engine) sharedTable(in Instance) *netmetric.Table {
+	nm, ok := in.Options.Core.Metric.(*netmetric.NetworkMetric)
+	if !ok || in.Options.Core.DistTable < 0 || len(in.Providers) == 0 ||
+		len(in.Providers)*in.Customers.Len() < solver.DistTableMinPairs {
+		return nil
+	}
+
+	h := sha256.New()
+	var scratch [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	for _, q := range in.Providers {
+		put64(math.Float64bits(q.Pt.X))
+		put64(math.Float64bits(q.Pt.Y))
+	}
+	put64(uint64(int64(in.Options.Core.DistTable)))
+	key := tableKey{metric: nm}
+	h.Sum(key.digest[:0])
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	if e.tables == nil {
+		e.tables = lru.New[tableKey, *tableEntry](tableMemoSize)
+	}
+	ent, ok := e.tables.Get(key)
+	if !ok {
+		ent = &tableEntry{}
+		e.tables.Put(key, ent)
+	}
+	e.mu.Unlock()
+
+	// Build outside the engine lock: a sweep over a big network takes
+	// long enough that holding mu would serialize unrelated submissions.
+	ent.once.Do(func() {
+		pts := make([]geo.Point, len(in.Providers))
+		for i := range in.Providers {
+			pts[i] = in.Providers[i].Pt
+		}
+		// BuildTable declines over-budget requests by returning nil; the
+		// entry memoizes that decision too, so repeat instances skip the
+		// sizing arithmetic.
+		ent.t = nm.BuildTable(pts, in.Options.Core.DistTable)
+	})
+	return ent.t
+}
+
+// TableMemoStats returns the shared distance-table memo's lifetime
+// hit/miss/eviction counters (all zero before the first network-metric
+// instance large enough to qualify).
+func (e *Engine) TableMemoStats() lru.Stats {
+	e.mu.Lock()
+	c := e.tables
+	e.mu.Unlock()
+	if c == nil {
+		return lru.Stats{}
+	}
+	return c.Stats()
+}
