@@ -210,6 +210,16 @@ func (c *Customers) Clone() (*Customers, error) {
 // Len returns the number of indexed customers.
 func (c *Customers) Len() int { return c.tree.Size() }
 
+// Pages returns the number of pages in the dataset's page store.
+func (c *Customers) Pages() int { return c.store.NumPages() }
+
+// PageSize returns the dataset's page size in bytes.
+func (c *Customers) PageSize() int { return c.store.PageSize() }
+
+// BufferResident returns the number of pages currently cached in this
+// handle's LRU buffer.
+func (c *Customers) BufferResident() int { return c.buf.Resident() }
+
 // BufferFrames returns the effective LRU buffer capacity in pages — the
 // explicitly clamped size computed at indexing time.
 func (c *Customers) BufferFrames() int { return c.buf.Frames() }

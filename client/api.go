@@ -156,6 +156,11 @@ type Fleet struct {
 	WallNS      int64   `json:"wall_ns"`
 	SolveWallNS int64   `json:"solve_wall_ns"`
 	QueueWaitNS int64   `json:"queue_wait_ns"`
+	// Faults / IONS carry the paper's fault accounting for the request:
+	// buffer faults across the solved (non-cached) instances and the
+	// simulated I/O time they cost at 10 ms per fault, in nanoseconds.
+	Faults int   `json:"faults"`
+	IONS   int64 `json:"io_ns"`
 }
 
 // SolveResponse is the buffered response of POST /v1/solve. Streamed
@@ -202,6 +207,9 @@ type SessionInfo struct {
 	ID string `json:"id"`
 	// Capacity is Γ = Σ provider capacities — the maximum matching size.
 	Capacity int `json:"capacity"`
+	// Persisted reports whether the session is backed by a write-ahead
+	// log (the server runs with -state-dir) and survives a restart.
+	Persisted bool `json:"persisted,omitempty"`
 }
 
 // ArriveRequest is the body of POST /v1/sessions/{id}/arrive.
@@ -266,6 +274,34 @@ type DatasetInfo struct {
 	// Customers is the indexed point count (-1 when the dataset exists
 	// on disk but has not been loaded yet).
 	Customers int `json:"customers"`
+	// Resident reports whether the dataset is currently indexed (its
+	// R-tree pages reachable through the buffer manager).
+	Resident bool `json:"resident"`
+	// Pages / PageSize / Bytes describe the dataset's page store when
+	// resident: total R-tree pages, the page size, and their product.
+	Pages    int   `json:"pages,omitempty"`
+	PageSize int   `json:"page_size,omitempty"`
+	Bytes    int64 `json:"bytes,omitempty"`
+	// ResidentPages / BufferPages are the LRU buffer's current fill and
+	// capacity on the primary handle (solves run on clones with their
+	// own cold buffers; see Faults for their accounting).
+	ResidentPages int `json:"resident_pages,omitempty"`
+	BufferPages   int `json:"buffer_pages,omitempty"`
+	// Faults / IONS accumulate the paper's fault accounting across every
+	// non-cached solve that used this dataset: buffer faults and the
+	// simulated I/O time they cost (10 ms per fault), in nanoseconds.
+	Faults uint64 `json:"faults,omitempty"`
+	IONS   int64  `json:"io_ns,omitempty"`
+}
+
+// DatasetEvictResponse is the body of DELETE /v1/datasets/{name}. The
+// dataset's CSV (and rebuilt page file) stay on disk; eviction drops the
+// in-memory index so the next query reloads cold, re-paying its faults.
+type DatasetEvictResponse struct {
+	Name string `json:"name"`
+	// WasResident reports whether an in-memory index was actually
+	// dropped (false when the dataset existed but was not loaded).
+	WasResident bool `json:"was_resident"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -222,6 +222,50 @@ func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
 	return out, nil
 }
 
+// UploadDataset uploads a customer dataset as CSV (dataio's id,x,y
+// format) under the given name, replacing any existing dataset of that
+// name. The server validates and normalizes the rows before committing.
+func (c *Client) UploadDataset(ctx context.Context, name string, csv io.Reader) (*DatasetInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/datasets/"+name, csv)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		ae := &APIError{StatusCode: resp.StatusCode}
+		var eresp ErrorResponse
+		if data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+			if json.Unmarshal(data, &eresp) == nil && eresp.Error != "" {
+				ae.Message = eresp.Error
+			} else {
+				ae.Message = strings.TrimSpace(string(data))
+			}
+		}
+		return nil, ae
+	}
+	var out DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EvictDataset drops a named dataset's in-memory index; its files stay
+// on disk and the next solve naming it reloads cold (re-paying its page
+// faults). An unknown dataset is an *APIError with status 404.
+func (c *Client) EvictDataset(ctx context.Context, name string) (*DatasetEvictResponse, error) {
+	var out DatasetEvictResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/datasets/"+name, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics returns the raw Prometheus text exposition of GET /metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	resp, err := c.send(ctx, http.MethodGet, "/metrics", nil, "")

@@ -65,7 +65,10 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 	}
 
 	engine := &cca.Engine{}
-	srv := server.New(server.Config{Engine: engine, MaxInFlight: inflight})
+	srv, err := server.New(server.Config{Engine: engine, MaxInFlight: inflight})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -77,6 +80,7 @@ func runServe(scale float64, clients, requests, inflight int, jsonPath string) e
 		defer cancel()
 		srv.Drain()
 		hs.Shutdown(ctx)
+		srv.Close()
 		engine.Close()
 	}()
 

@@ -39,12 +39,15 @@ func main() {
 		maxArr   = flag.Int("max-arrivals", server.DefaultMaxArrivals, "bound on arrivals per session")
 		timeout  = flag.Duration("timeout", 0, "default per-instance solve timeout (0 = none; requests may set timeout_ms per instance)")
 		dataDir  = flag.String("data", "", "named-dataset directory (<name>.csv customer files, id,x,y rows)")
+		stateDir = flag.String("state-dir", "", "durable-state directory: session WALs + snapshots and dataset page files; sessions survive restarts (\"\" = in-memory only)")
+		ttl      = flag.Duration("session-ttl", 0, "idle-session TTL: checkpoint + unload (or drop, without -state-dir) sessions idle this long (0 = never)")
+		snapEvry = flag.Int("snapshot-every", server.DefaultSnapshotEvery, "checkpoint a persisted session's live set every N WAL events")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
 	)
 	flag.Parse()
 
 	engine := &cca.Engine{Workers: *workers, DefaultSolver: *solver, CacheSize: *cache}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Engine:         engine,
 		MaxInFlight:    *inflight,
 		MaxSessions:    *sessions,
@@ -52,7 +55,17 @@ func main() {
 		MaxArrivals:    *maxArr,
 		DefaultTimeout: *timeout,
 		DataDir:        *dataDir,
+		StateDir:       *stateDir,
+		SessionTTL:     *ttl,
+		SnapshotEvery:  *snapEvry,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccad:", err)
+		os.Exit(1)
+	}
+	if n := srv.RecoveredSessions(); n > 0 {
+		fmt.Fprintf(os.Stderr, "ccad: recovered %d session(s) from %s\n", n, *stateDir)
+	}
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -87,6 +100,11 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "ccad: shutdown:", err)
 		httpSrv.Close()
+	}
+	// Close session WALs after in-flight requests drained — persisted
+	// sessions checkpoint and reopen cleanly on the next boot.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccad: close:", err)
 	}
 	engine.Close()
 	fmt.Fprintln(os.Stderr, "ccad: drained, bye")

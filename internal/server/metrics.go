@@ -29,12 +29,22 @@ type counters struct {
 	cost      float64
 	solveWall time.Duration // Σ per-instance wall time
 	queueWait time.Duration // Σ time instances waited for a worker
+	faults    uint64        // Σ buffer faults across non-cached solves
+	ioTime    time.Duration // simulated I/O time (10 ms per fault)
 
 	sessionsCreated uint64
 	arrivals        uint64
 	arrivalsMatched uint64
 	departures      uint64
 	resizes         uint64
+	// Lifecycle accounting: with these, the sessions_active gauge is
+	// reconcilable from counters alone —
+	//   active = created + recovered + reloaded − deleted − expired.
+	sessionsDeleted   uint64 // DELETE /v1/sessions/{id}
+	sessionsExpired   uint64 // unloaded (or dropped) by the TTL sweeper
+	sessionsRecovered uint64 // replayed from WALs at boot
+	sessionsReloaded  uint64 // lazily replayed on touch after a TTL unload
+	sessionSnapshots  uint64 // checkpoint snapshots written
 }
 
 func (c *counters) init() {
@@ -69,6 +79,8 @@ func (c *counters) recordSolve(fleet client.Fleet) {
 	c.cost += fleet.Cost
 	c.solveWall += time.Duration(fleet.SolveWallNS)
 	c.queueWait += time.Duration(fleet.QueueWaitNS)
+	c.faults += uint64(fleet.Faults)
+	c.ioTime += time.Duration(fleet.IONS)
 }
 
 func (c *counters) recordSession() {
@@ -95,6 +107,36 @@ func (c *counters) recordDepart() {
 func (c *counters) recordResize() {
 	c.mu.Lock()
 	c.resizes++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordDeleted() {
+	c.mu.Lock()
+	c.sessionsDeleted++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordExpired() {
+	c.mu.Lock()
+	c.sessionsExpired++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordRecovered(n int) {
+	c.mu.Lock()
+	c.sessionsRecovered += uint64(n)
+	c.mu.Unlock()
+}
+
+func (c *counters) recordReloaded() {
+	c.mu.Lock()
+	c.sessionsReloaded++
+	c.mu.Unlock()
+}
+
+func (c *counters) recordSnapshot() {
+	c.mu.Lock()
+	c.sessionSnapshots++
 	c.mu.Unlock()
 }
 
@@ -146,8 +188,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	instances, solved, errored := s.stats.instances, s.stats.solved, s.stats.errored
 	pairs, cacheHits, cost := s.stats.pairs, s.stats.cacheHits, s.stats.cost
 	solveWall, queueWait := s.stats.solveWall, s.stats.queueWait
+	faults, ioTime := s.stats.faults, s.stats.ioTime
 	sessionsCreated, arrivals, arrivalsMatched := s.stats.sessionsCreated, s.stats.arrivals, s.stats.arrivalsMatched
 	departures, resizes := s.stats.departures, s.stats.resizes
+	sessionsDeleted, sessionsExpired := s.stats.sessionsDeleted, s.stats.sessionsExpired
+	sessionsRecovered, sessionsReloaded := s.stats.sessionsRecovered, s.stats.sessionsReloaded
+	sessionSnapshots := s.stats.sessionSnapshots
 	s.stats.mu.Unlock()
 
 	handlers := make([]string, 0, len(requests))
@@ -225,6 +271,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.val("ccad_solve_wall_seconds_total", solveWall.Seconds())
 	p.header("ccad_solve_queue_wait_seconds_total", "Total time solve instances waited for a worker.", "counter")
 	p.val("ccad_solve_queue_wait_seconds_total", queueWait.Seconds())
+	p.header("ccad_solve_page_faults_total", "Buffer faults across non-cached solves (the paper's fault accounting).", "counter")
+	p.val("ccad_solve_page_faults_total", float64(faults))
+	p.header("ccad_solve_io_seconds_total", "Simulated I/O time across non-cached solves (10 ms per fault, the paper's cost model).", "counter")
+	p.val("ccad_solve_io_seconds_total", ioTime.Seconds())
 
 	// Sessions.
 	p.header("ccad_sessions_active", "Live online sessions.", "gauge")
@@ -239,10 +289,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.val("ccad_sessions_departures_total", float64(departures))
 	p.header("ccad_sessions_resizes_total", "Provider capacity resizes processed across all sessions.", "counter")
 	p.val("ccad_sessions_resizes_total", float64(resizes))
+	p.header("ccad_sessions_deleted_total", "Sessions removed by DELETE /v1/sessions/{id}.", "counter")
+	p.val("ccad_sessions_deleted_total", float64(sessionsDeleted))
+	p.header("ccad_sessions_expired_total", "Sessions unloaded (or, without -state-dir, dropped) by the TTL sweeper.", "counter")
+	p.val("ccad_sessions_expired_total", float64(sessionsExpired))
+	p.header("ccad_sessions_recovered_total", "Sessions replayed from their WALs at boot.", "counter")
+	p.val("ccad_sessions_recovered_total", float64(sessionsRecovered))
+	p.header("ccad_sessions_reloaded_total", "Unloaded sessions replayed from their WALs on touch.", "counter")
+	p.val("ccad_sessions_reloaded_total", float64(sessionsReloaded))
+	p.header("ccad_session_snapshots_total", "Session checkpoint snapshots written.", "counter")
+	p.val("ccad_session_snapshots_total", float64(sessionSnapshots))
 
-	// Named datasets.
+	// Named datasets: lifecycle counters plus the paper's per-dataset
+	// fault accounting and buffer residency.
 	p.header("ccad_datasets_loaded", "Named datasets currently indexed in memory.", "gauge")
 	p.val("ccad_datasets_loaded", float64(s.datasets.loadedCount()))
+	uploads, evicted := s.datasets.counts()
+	p.header("ccad_datasets_uploaded_total", "Datasets committed by POST /v1/datasets/{name}.", "counter")
+	p.val("ccad_datasets_uploaded_total", float64(uploads))
+	p.header("ccad_datasets_evicted_total", "Dataset indexes dropped by DELETE /v1/datasets/{name} (or replaced by an upload).", "counter")
+	p.val("ccad_datasets_evicted_total", float64(evicted))
+	dsNames, dsAggs := s.datasets.ioSnapshot()
+	p.header("ccad_dataset_page_faults_total", "Buffer faults charged to non-cached solves of this dataset.", "counter")
+	p.header("ccad_dataset_buffer_hits_total", "Buffer hits across non-cached solves of this dataset.", "counter")
+	p.header("ccad_dataset_io_seconds_total", "Simulated I/O time charged to this dataset (10 ms per fault).", "counter")
+	for i, name := range dsNames {
+		labels := fmt.Sprintf("dataset=%q", name)
+		p.labeled("ccad_dataset_page_faults_total", labels, float64(dsAggs[i].faults))
+		p.labeled("ccad_dataset_buffer_hits_total", labels, float64(dsAggs[i].hits))
+		p.labeled("ccad_dataset_io_seconds_total", labels, dsAggs[i].ioTime.Seconds())
+	}
+	p.header("ccad_dataset_pages", "R-tree pages in a resident dataset's page store.", "gauge")
+	p.header("ccad_dataset_resident_pages", "Pages cached in a resident dataset's primary LRU buffer.", "gauge")
+	p.header("ccad_dataset_buffer_pages", "LRU buffer capacity of a resident dataset (the paper's 1%).", "gauge")
+	for _, info := range s.datasets.residentInfos() {
+		labels := fmt.Sprintf("dataset=%q", info.Name)
+		p.labeled("ccad_dataset_pages", labels, float64(info.Pages))
+		p.labeled("ccad_dataset_resident_pages", labels, float64(info.ResidentPages))
+		p.labeled("ccad_dataset_buffer_pages", labels, float64(info.BufferPages))
+	}
 
 	// Road-network metric caches, one series set per distinct (built)
 	// network; entries still mid-build are skipped, never waited on.

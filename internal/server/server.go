@@ -74,14 +74,32 @@ type Config struct {
 	// DataDir is the named-dataset directory (files <name>.csv in
 	// dataio's id,x,y format); empty disables named datasets.
 	DataDir string
+	// StateDir is the durable-state directory. Non-empty enables the
+	// storage layer: dataset R-tree pages live in page files under
+	// <StateDir>/datasets (behind the paper's LRU buffer, so cold
+	// datasets page out instead of pinning heap), and every session gets
+	// a write-ahead log + snapshot under <StateDir>/sessions, replayed
+	// on boot so a restart recovers byte-identical matchings. Empty
+	// keeps everything in memory (the pre-durability behavior).
+	StateDir string
+	// SessionTTL unloads sessions idle longer than this: with StateDir
+	// they checkpoint to disk and reload on the next touch; without it
+	// they are simply deleted. 0 disables the sweeper.
+	SessionTTL time.Duration
+	// SnapshotEvery checkpoints a session's snapshot every N logged
+	// events (<= 0 selects DefaultSnapshotEvery). Snapshots are
+	// integrity checkpoints, not the recovery path — recovery always
+	// replays the full WAL for byte-identical matchings.
+	SnapshotEvery int
 }
 
 // Defaults for Config's bounds.
 const (
-	DefaultMaxInFlight  = 64
-	DefaultMaxSessions  = 1024
-	DefaultMaxInstances = 1024
-	DefaultMaxArrivals  = 100_000
+	DefaultMaxInFlight   = 64
+	DefaultMaxSessions   = 1024
+	DefaultMaxInstances  = 1024
+	DefaultMaxArrivals   = 100_000
+	DefaultSnapshotEvery = 64
 )
 
 // Server is the HTTP front end. Build one with New and mount Handler.
@@ -114,6 +132,14 @@ type Server struct {
 	netMetrics map[netKey]*netEntry
 
 	stats counters
+
+	// reloadMu serializes WAL reloads of unloaded sessions (persist.go).
+	reloadMu sync.Mutex
+	// recovered is the number of sessions replayed at boot.
+	recovered int
+	// stop ends the TTL sweeper; closeOnce guards Close.
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // netKey identifies a synthetic road network and its ALT landmark /
@@ -149,8 +175,10 @@ func (e *netEntry) metric(key netKey) *netmetric.NetworkMetric {
 	return e.m
 }
 
-// New builds a Server over cfg.Engine.
-func New(cfg Config) *Server {
+// New builds a Server over cfg.Engine. With a StateDir configured it
+// also recovers every persisted session (full WAL replay) before
+// returning, so the first request after a restart already sees them.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight < 1 {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
@@ -163,6 +191,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxArrivals < 1 {
 		cfg.MaxArrivals = DefaultMaxArrivals
 	}
+	if cfg.SnapshotEvery < 1 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
 	s := &Server{
 		cfg:        cfg,
 		engine:     cfg.Engine,
@@ -171,10 +202,21 @@ func New(cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.MaxInFlight),
 		readSem:    make(chan struct{}, 2*cfg.MaxInFlight),
 		netMetrics: make(map[netKey]*netEntry),
+		stop:       make(chan struct{}),
 	}
 	s.sessions.init(cfg.MaxSessions)
-	s.datasets.init(cfg.DataDir)
+	if err := s.datasets.init(cfg.DataDir, cfg.StateDir); err != nil {
+		return nil, err
+	}
 	s.stats.init()
+	if s.persistEnabled() {
+		if _, err := s.recoverSessions(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.SessionTTL > 0 {
+		go s.sweepLoop()
+	}
 
 	s.handle("POST /v1/solve", "solve", s.handleSolve)
 	s.handle("POST /v1/sessions", "session_create", s.handleSessionCreate)
@@ -184,13 +226,39 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/sessions/{id}/matching", "session_matching", s.handleSessionMatching)
 	s.handle("DELETE /v1/sessions/{id}", "session_delete", s.handleSessionDelete)
 	s.handle("GET /v1/datasets", "datasets", s.handleDatasets)
+	s.handle("POST /v1/datasets/{name}", "dataset_upload", s.handleDatasetUpload)
+	s.handle("DELETE /v1/datasets/{name}", "dataset_evict", s.handleDatasetEvict)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// RecoveredSessions reports how many sessions boot-time recovery
+// replayed from their WALs.
+func (s *Server) RecoveredSessions() int { return s.recovered }
+
+// Close stops the TTL sweeper and releases durable-state handles (open
+// session WALs). It does not close the engine — cmd/ccad owns the drain
+// sequence — and it must run after the HTTP listener stopped serving.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		for id, sess := range s.sessions.snapshot() {
+			sess.mu.Lock()
+			if sess.log != nil {
+				sess.log.Close()
+				sess.log = nil
+			}
+			sess.gone = true
+			sess.mu.Unlock()
+			s.sessions.removeIfSame(id, sess)
+		}
+	})
+	return nil
+}
 
 // Drain flips the server into its draining state: healthz turns 503 and
 // new solve/session work is rejected, while requests already admitted

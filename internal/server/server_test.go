@@ -34,10 +34,14 @@ func testServer(t *testing.T, cfg server.Config) testHarness {
 	if cfg.Engine == nil {
 		cfg.Engine = &cca.Engine{Workers: 4}
 	}
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()
+		srv.Close()
 		cfg.Engine.Close()
 	})
 	return testHarness{c: client.New(hs.URL, hs.Client()), srv: srv, engine: cfg.Engine, url: hs.URL}

@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	cca "repro"
 	"repro/client"
+	"repro/internal/storage"
 )
 
 // Body bounds for the session endpoints: a provider set is small (the
@@ -29,9 +32,27 @@ type session struct {
 	mu       sync.Mutex
 	m        *cca.DynamicMatcher
 	arrivals int
+
+	id string
+	// gone marks a session unloaded by the TTL sweeper or deleted; a
+	// handler that locked a stale pointer must re-resolve through the
+	// store instead of mutating a zombie.
+	gone bool
+	// log is the session's write-ahead log (nil = persistence off or
+	// unloaded). events counts churn events since creation; live tracks
+	// the live customer set for snapshots.
+	log    *storage.Log
+	events int
+	live   map[int64]client.Customer
+	// lastTouch is the unix-nano time of the last handler access — the
+	// TTL sweeper's idleness clock.
+	lastTouch atomic.Int64
 }
 
-// sessionStore is the bounded id → session map.
+func (sess *session) touch() { sess.lastTouch.Store(time.Now().UnixNano()) }
+
+// sessionStore is the bounded id → session map (resident sessions only;
+// swept sessions live on disk until touched).
 type sessionStore struct {
 	mu       sync.Mutex
 	max      int
@@ -43,16 +64,15 @@ func (st *sessionStore) init(max int) {
 	st.sessions = make(map[string]*session)
 }
 
-// add stores a new session, enforcing the bound.
-func (st *sessionStore) add(s *session) (string, error) {
+// put stores a session under id, enforcing the bound.
+func (st *sessionStore) put(id string, s *session) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.sessions) >= st.max {
-		return "", fmt.Errorf("session limit reached (%d live sessions)", st.max)
+		return fmt.Errorf("session limit reached (%d live sessions)", st.max)
 	}
-	id := newID()
 	st.sessions[id] = s
-	return id, nil
+	return nil
 }
 
 func (st *sessionStore) get(id string) (*session, bool) {
@@ -62,14 +82,39 @@ func (st *sessionStore) get(id string) (*session, bool) {
 	return s, ok
 }
 
-func (st *sessionStore) remove(id string) bool {
+func (st *sessionStore) remove(id string) (*session, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if _, ok := st.sessions[id]; !ok {
+	s, ok := st.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	delete(st.sessions, id)
+	return s, true
+}
+
+// removeIfSame removes id only if it still maps to s — the sweeper uses
+// it so a delete-then-recreate race can never drop a fresh session.
+func (st *sessionStore) removeIfSame(id string, s *session) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.sessions[id] != s {
 		return false
 	}
 	delete(st.sessions, id)
 	return true
+}
+
+// snapshot returns a copy of the resident-session map for iteration
+// without holding the store lock.
+func (st *sessionStore) snapshot() map[string]*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]*session, len(st.sessions))
+	for id, s := range st.sessions {
+		out[id] = s
+	}
+	return out
 }
 
 func (st *sessionStore) count() int {
@@ -78,12 +123,46 @@ func (st *sessionStore) count() int {
 	return len(st.sessions)
 }
 
+// lockSession resolves id to a live session and returns it with its
+// lock held (the caller must unlock). A session the TTL sweeper
+// unloaded is transparently reloaded from its WAL; one marked gone
+// between lookup and lock is re-resolved. On failure the HTTP error has
+// been written already.
+func (s *Server) lockSession(w http.ResponseWriter, id string) (*session, bool) {
+	for tries := 0; tries < 4; tries++ {
+		sess, ok := s.sessions.get(id)
+		if !ok {
+			var err error
+			sess, err = s.loadSession(id)
+			if err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					writeError(w, http.StatusNotFound, "no such session")
+				} else {
+					writeError(w, http.StatusInternalServerError, err.Error())
+				}
+				return nil, false
+			}
+		}
+		sess.mu.Lock()
+		if sess.gone {
+			sess.mu.Unlock()
+			continue
+		}
+		sess.touch()
+		return sess, true
+	}
+	writeError(w, http.StatusServiceUnavailable, "session is being recycled, retry")
+	return nil, false
+}
+
 // handleSessionCreate serves POST /v1/sessions: it builds a server-held
 // incremental matcher over the request's providers, so each subsequent
 // /arrive costs one augmenting path (or swap) instead of a re-solve.
 // Sessions measure Euclidean distance by default; metric "network"
 // routes every incremental assignment through the shared road-network
-// metric (same memo and bounds as batch solves).
+// metric (same memo and bounds as batch solves). With -state-dir, the
+// session is durable: its configuration is the WAL's header record and
+// every later event is logged before it is acknowledged.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -93,56 +172,34 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxSessionBody, &req) {
 		return
 	}
-	if len(req.Providers) == 0 {
-		writeError(w, http.StatusBadRequest, "no providers")
-		return
-	}
-	if req.ReoptBudget < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("reopt_budget must be >= 0, got %d", req.ReoptBudget))
-		return
-	}
-	providers := make([]cca.Provider, len(req.Providers))
-	capacity := 0
-	for i, q := range req.Providers {
-		if q.Cap <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("provider %d: capacity must be positive, got %d", i, q.Cap))
-			return
-		}
-		providers[i] = cca.Provider{Pt: cca.Point{X: q.X, Y: q.Y}, Cap: q.Cap}
-		capacity += q.Cap
-	}
-	opts := cca.DynamicOptions{ReoptBudget: req.ReoptBudget}
-	switch strings.ToLower(req.Metric) {
-	case "", "euclidean":
-	case "network":
-		grid, seed := req.NetGrid, req.NetSeed
-		if grid == 0 {
-			grid = 32
-		}
-		if seed == 0 {
-			seed = 2008
-		}
-		m, err := s.networkMetric(grid, seed, req.NetLandmarks, req.NetCH)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		opts.Metric = m
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown metric %q (euclidean, network)", req.Metric))
-		return
-	}
-	sess := &session{
-		m: cca.NewDynamicMatcherOpts(providers, opts),
-	}
-	id, err := s.sessions.add(sess)
+	m, capacity, err := s.buildMatcher(req)
 	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess := &session{m: m, id: newID()}
+	sess.touch()
+	if s.persistEnabled() {
+		if err := s.attachWAL(sess, req); err != nil {
+			writeError(w, http.StatusInternalServerError, "session persistence: "+err.Error())
+			return
+		}
+	}
+	if err := s.sessions.put(sess.id, sess); err != nil {
+		if sess.log != nil {
+			sess.log.Close()
+			s.removeSessionFiles(sess.id)
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	s.stats.recordSession()
-	writeJSON(w, http.StatusOK, client.SessionInfo{ID: id, Capacity: capacity})
+	writeJSON(w, http.StatusOK, client.SessionInfo{
+		ID:        sess.id,
+		Capacity:  capacity,
+		Persisted: sess.log != nil,
+	})
 }
 
 // handleSessionArrive serves POST /v1/sessions/{id}/arrive: one
@@ -156,17 +213,14 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	sess, ok := s.sessions.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
-		return
-	}
 	var req client.ArriveRequest
 	if !decodeBody(w, r, maxArriveBody, &req) {
 		return
 	}
-
-	sess.mu.Lock()
+	sess, ok := s.lockSession(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
 	// Each arrival permanently grows the in-memory matching graph, so
 	// the per-session arrival count is bounded like every other
 	// client-driven allocation; start a new session past the limit.
@@ -188,6 +242,11 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.arrivals++
+	if err := s.logEvent(sess, walEvent{Op: walOpArrive, ID: req.ID, X: req.X, Y: req.Y}); err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	resp := client.ArriveResponse{
 		Matched:  matched,
 		Size:     sess.m.Size(),
@@ -211,17 +270,14 @@ func (s *Server) handleSessionDepart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	sess, ok := s.sessions.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
-		return
-	}
 	var req client.DepartRequest
 	if !decodeBody(w, r, maxArriveBody, &req) {
 		return
 	}
-
-	sess.mu.Lock()
+	sess, ok := s.lockSession(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
 	wasMatched, err := sess.m.Depart(req.ID)
 	if errors.Is(err, cca.ErrUnknownID) {
 		sess.mu.Unlock()
@@ -229,6 +285,11 @@ func (s *Server) handleSessionDepart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err := s.logEvent(sess, walEvent{Op: walOpDepart, ID: req.ID}); err != nil {
 		sess.mu.Unlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -254,11 +315,6 @@ func (s *Server) handleSessionResize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	sess, ok := s.sessions.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
-		return
-	}
 	var req client.ResizeRequest
 	if !decodeBody(w, r, maxArriveBody, &req) {
 		return
@@ -267,8 +323,10 @@ func (s *Server) handleSessionResize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("capacity must be >= 0, got %d", req.Cap))
 		return
 	}
-
-	sess.mu.Lock()
+	sess, ok := s.lockSession(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
 	err := sess.m.ResizeProvider(req.Provider, req.Cap)
 	if errors.Is(err, cca.ErrUnknownID) {
 		sess.mu.Unlock()
@@ -276,6 +334,11 @@ func (s *Server) handleSessionResize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err := s.logEvent(sess, walEvent{Op: walOpResize, Provider: req.Provider, Cap: req.Cap}); err != nil {
 		sess.mu.Unlock()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -292,14 +355,13 @@ func (s *Server) handleSessionResize(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSessionMatching serves GET /v1/sessions/{id}/matching: the
-// current optimal matching over everything that has arrived.
+// current optimal matching over everything that has arrived. Reads stay
+// available during drain, and reading an unloaded session reloads it.
 func (s *Server) handleSessionMatching(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.get(r.PathValue("id"))
+	sess, ok := s.lockSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
-	sess.mu.Lock()
 	res := sess.m.Matching()
 	sess.mu.Unlock()
 
@@ -307,11 +369,36 @@ func (s *Server) handleSessionMatching(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleSessionDelete serves DELETE /v1/sessions/{id}.
+// handleSessionDelete serves DELETE /v1/sessions/{id}. Deletion is
+// permanent — unlike a TTL unload, the WAL and snapshot are removed
+// too. It stays allowed during drain: delete frees resources, and an
+// orchestrated shutdown cleaning up its sessions must not be wedged by
+// its own drain.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.remove(r.PathValue("id")) {
+	id := r.PathValue("id")
+	sess, ok := s.sessions.remove(id)
+	if !ok {
+		// Not resident — but with persistence on, an unloaded session's
+		// files may still exist and must die too.
+		if s.persistEnabled() && validSessionID(id) {
+			if _, err := os.Stat(s.sessionWALPath(id)); err == nil {
+				s.removeSessionFiles(id)
+				s.stats.recordDeleted()
+				writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+				return
+			}
+		}
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	sess.mu.Lock()
+	sess.gone = true
+	if sess.log != nil {
+		sess.log.Close()
+		sess.log = nil
+	}
+	sess.mu.Unlock()
+	s.removeSessionFiles(id)
+	s.stats.recordDeleted()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }

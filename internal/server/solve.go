@@ -26,10 +26,11 @@ const maxSolveBody = 64 << 20
 type prepared struct {
 	in      cca.Instance
 	cancel  context.CancelFunc
-	cleanup func() // closes a per-request inline dataset (nil for named)
+	cleanup func() // closes an inline dataset / releases a named one (nil otherwise)
 	err     error  // conversion failure; the instance never runs
 	label   string
 	solver  string
+	dataset string // named dataset, for per-dataset fault accounting
 }
 
 // handleSolve serves POST /v1/solve: decode instances, admit, submit
@@ -202,11 +203,15 @@ func (s *Server) prepare(ctx context.Context, idx int, wi client.Instance) *prep
 	case wi.Dataset != "" && len(wi.Customers) > 0:
 		return fail("customers and dataset are mutually exclusive")
 	case wi.Dataset != "":
-		ds, err := s.datasets.get(wi.Dataset)
+		// Hold a reference for the lifetime of the solve so a concurrent
+		// DELETE /v1/datasets/{name} cannot close the page store under us.
+		e, err := s.datasets.acquire(wi.Dataset)
 		if err != nil {
 			return fail("%v", err)
 		}
-		customers = ds
+		customers = e.c
+		p.cleanup = e.release
+		p.dataset = wi.Dataset
 	case len(wi.Customers) > 0:
 		if err := ctx.Err(); err != nil {
 			return fail("%v", err)
@@ -309,6 +314,17 @@ func collect(p *prepared, ch <-chan cca.InstanceResult, i int) cca.InstanceResul
 	return r
 }
 
+// recordDatasetIO folds a named-dataset solve's buffer stats into that
+// dataset's lifetime fault accounting. Cache hits carry the original
+// solve's metrics, which were already recorded once — counting them
+// again would charge phantom faults.
+func (s *Server) recordDatasetIO(p *prepared, r cca.InstanceResult) {
+	if p.dataset == "" || r.Err != nil || r.Cached || r.Result == nil {
+		return
+	}
+	s.datasets.recordIO(p.dataset, r.Result.Metrics.IO)
+}
+
 // solveBuffered collects every result in submission order and writes
 // one SolveResponse.
 func (s *Server) solveBuffered(w http.ResponseWriter, preps []*prepared, chans []<-chan cca.InstanceResult, start time.Time) {
@@ -316,6 +332,7 @@ func (s *Server) solveBuffered(w http.ResponseWriter, preps []*prepared, chans [
 	raw := make([]cca.InstanceResult, len(preps))
 	for i, p := range preps {
 		raw[i] = collect(p, chans[i], i)
+		s.recordDatasetIO(p, raw[i])
 		results[i] = wireResult(raw[i])
 	}
 	fleet := fleetOf(raw, time.Since(start))
@@ -356,7 +373,9 @@ func (s *Server) solveStreamed(w http.ResponseWriter, mode string, preps []*prep
 		wg.Add(1)
 		go func(i int, p *prepared) {
 			defer wg.Done()
-			merged <- collect(p, chans[i], i)
+			r := collect(p, chans[i], i)
+			s.recordDatasetIO(p, r)
+			merged <- r
 		}(i, p)
 	}
 	go func() {
@@ -433,6 +452,12 @@ func fleetOf(raw []cca.InstanceResult, wall time.Duration) client.Fleet {
 		f.Solved++
 		f.Pairs += r.Result.Size
 		f.Cost += r.Result.Cost
+		if !r.Cached {
+			// Cached results echo the original solve's metrics; charging
+			// them again would double-count the paper's fault accounting.
+			f.Faults += r.Result.Metrics.IO.Faults
+			f.IONS += int64(r.Result.Metrics.IOTime)
+		}
 	}
 	return f
 }

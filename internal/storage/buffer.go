@@ -70,6 +70,9 @@ func (b *Buffer) Store() Store { return b.store }
 // Frames returns the buffer capacity in pages.
 func (b *Buffer) Frames() int { return b.frames }
 
+// Resident returns the number of pages currently cached in the buffer.
+func (b *Buffer) Resident() int { return b.lru.Len() }
+
 // Stats returns a snapshot of the activity counters.
 func (b *Buffer) Stats() Stats { return b.stats }
 

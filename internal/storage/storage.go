@@ -31,24 +31,41 @@ type PageID uint32
 const InvalidPage = PageID(^uint32(0))
 
 // Store is raw page storage: a growable array of fixed-size pages.
+//
+// Concurrency contract: Read is safe for concurrent use by multiple
+// goroutines (FileStore reads with pread, MemStore only indexes its page
+// table) as long as no Alloc or Write runs concurrently. Alloc and Write
+// mutate the page table / file length and require external serialization
+// against every other method. Components that mutate a store from
+// concurrent callers — the Buffer on a shared handle, or the Log appending
+// from HTTP handler goroutines — must hold their own lock around those
+// calls; Log does so internally.
 type Store interface {
 	// PageSize returns the fixed page size in bytes.
 	PageSize() int
 	// Alloc allocates a zeroed page and returns its ID.
 	Alloc() (PageID, error)
-	// Read fills buf (of length PageSize) with the page's content.
+	// Read fills buf with the page's content. buf must be at least
+	// PageSize bytes long; a shorter buffer is an error, never a silent
+	// short copy.
 	Read(id PageID, buf []byte) error
 	// Write replaces the page's content with data (length <= PageSize;
 	// the remainder of the page is zeroed).
 	Write(id PageID, data []byte) error
 	// NumPages returns the number of allocated pages.
 	NumPages() int
+	// Sync flushes buffered writes to stable storage (no-op for MemStore).
+	Sync() error
 	// Close releases underlying resources.
 	Close() error
 }
 
 // ErrPageOutOfRange is returned when a page ID is not allocated.
 var ErrPageOutOfRange = errors.New("storage: page id out of range")
+
+// ErrShortBuffer is returned by Read when the caller's buffer is smaller
+// than the store's page size.
+var ErrShortBuffer = errors.New("storage: read buffer shorter than page size")
 
 // MemStore is an in-memory Store. It is used for "memory R-tree"
 // configurations such as the small-instance SSPA comparison (Fig 8), and
@@ -77,6 +94,9 @@ func (m *MemStore) Read(id PageID, buf []byte) error {
 	if int(id) >= len(m.pages) {
 		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, len(m.pages))
 	}
+	if len(buf) < m.pageSize {
+		return fmt.Errorf("%w: %d < %d", ErrShortBuffer, len(buf), m.pageSize)
+	}
 	copy(buf, m.pages[id])
 	return nil
 }
@@ -100,6 +120,9 @@ func (m *MemStore) Write(id PageID, data []byte) error {
 // NumPages implements Store.
 func (m *MemStore) NumPages() int { return len(m.pages) }
 
+// Sync implements Store (no-op: memory is as stable as it gets).
+func (m *MemStore) Sync() error { return nil }
+
 // Close implements Store.
 func (m *MemStore) Close() error { return nil }
 
@@ -115,6 +138,9 @@ type FileStore struct {
 
 // CreateFileStore creates (or truncates) a page file at path.
 func CreateFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("storage: invalid page size %d (must be >= 1)", pageSize)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create page file: %w", err)
@@ -122,8 +148,14 @@ func CreateFileStore(path string, pageSize int) (*FileStore, error) {
 	return &FileStore{pageSize: pageSize, f: f}, nil
 }
 
-// OpenFileStore opens an existing page file at path.
+// OpenFileStore opens an existing page file at path. The file's size must
+// be an exact multiple of pageSize: a trailing partial page means the file
+// is corrupt or was written with a different page size, and silently
+// truncating it would drop data, so it is rejected with an error instead.
 func OpenFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("storage: invalid page size %d (must be >= 1)", pageSize)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open page file: %w", err)
@@ -133,7 +165,14 @@ func OpenFileStore(path string, pageSize int) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat page file: %w", err)
 	}
-	return &FileStore{pageSize: pageSize, f: f, n: int(st.Size()) / pageSize}, nil
+	size := st.Size()
+	if rem := size % int64(pageSize); rem != 0 {
+		f.Close()
+		return nil, fmt.Errorf(
+			"storage: page file %s has size %d, not a multiple of page size %d (%d trailing bytes; corrupt file or wrong page size)",
+			path, size, pageSize, rem)
+	}
+	return &FileStore{pageSize: pageSize, f: f, n: int(size / int64(pageSize))}, nil
 }
 
 // PageSize implements Store.
@@ -155,6 +194,9 @@ func (s *FileStore) Alloc() (PageID, error) {
 func (s *FileStore) Read(id PageID, buf []byte) error {
 	if int(id) >= s.n {
 		return fmt.Errorf("%w: %d of %d", ErrPageOutOfRange, id, s.n)
+	}
+	if len(buf) < s.pageSize {
+		return fmt.Errorf("%w: %d < %d", ErrShortBuffer, len(buf), s.pageSize)
 	}
 	_, err := s.f.ReadAt(buf[:s.pageSize], int64(id)*int64(s.pageSize))
 	if err != nil {
@@ -181,6 +223,14 @@ func (s *FileStore) Write(id PageID, data []byte) error {
 
 // NumPages implements Store.
 func (s *FileStore) NumPages() int { return s.n }
+
+// Sync implements Store by fsyncing the page file.
+func (s *FileStore) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync page file: %w", err)
+	}
+	return nil
+}
 
 // Close implements Store.
 func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,305 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is an append-only record log layered on a page Store. Records are
+// framed as [length u32][crc32 u32][payload] in little-endian, packed
+// back to back across page boundaries; a zero length terminates the log.
+//
+// Recovery is scan-based: OpenLog walks the frames from page 0 and stops
+// at the first frame that is torn (length runs past the end of the file)
+// or corrupt (CRC mismatch), truncating the log to the last valid record
+// rather than erroring. The region past the valid prefix is re-zeroed so
+// a later scan cannot misparse stale bytes as a frame.
+//
+// A Log serializes its own access: Append, Sync, and the accessors are
+// safe to call from concurrent goroutines (the HTTP handlers append from
+// request goroutines), upholding the Store concurrency contract on the
+// caller's behalf.
+type Log struct {
+	mu        sync.Mutex
+	store     Store
+	tail      int64 // byte offset one past the last valid record
+	records   int
+	truncated bool // recovery dropped a torn/corrupt tail
+}
+
+const (
+	logFrameHeader = 8       // u32 length + u32 crc
+	logMaxRecord   = 1 << 26 // 64 MB; a longer length field is treated as torn
+)
+
+// NewLog starts a fresh log on an empty store.
+func NewLog(store Store) (*Log, error) {
+	if store.NumPages() != 0 {
+		return nil, fmt.Errorf("storage: NewLog on non-empty store (%d pages); use OpenLog", store.NumPages())
+	}
+	return &Log{store: store}, nil
+}
+
+// OpenLog recovers a log from store, invoking fn for each valid record in
+// append order. Scanning stops at the end of the valid prefix; if the
+// final record is torn or corrupt it is dropped (Truncated reports this)
+// and appends resume after the last valid record. A non-nil error from fn
+// aborts recovery and is returned verbatim.
+func OpenLog(store Store, fn func(payload []byte) error) (*Log, error) {
+	l := &Log{store: store}
+	end := int64(store.NumPages()) * int64(store.PageSize())
+	var hdr [logFrameHeader]byte
+	for {
+		if l.tail+logFrameHeader > end {
+			// No room for another header; nonzero leftovers are a torn frame.
+			l.truncated = l.zeroRange(l.tail, end) || l.truncated
+			break
+		}
+		if err := l.readAt(l.tail, hdr[:]); err != nil {
+			return nil, err
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if length == 0 {
+			// Clean end-of-log marker. Still sweep the remainder in case a
+			// torn frame left nonzero bytes beyond a zeroed header.
+			l.truncated = l.zeroRange(l.tail+logFrameHeader, end) || l.truncated
+			break
+		}
+		if length > logMaxRecord || l.tail+logFrameHeader+length > end {
+			l.truncated = true
+			l.zeroRange(l.tail, end)
+			break
+		}
+		payload := make([]byte, length)
+		if err := l.readAt(l.tail+logFrameHeader, payload); err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			l.truncated = true
+			l.zeroRange(l.tail, end)
+			break
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return nil, err
+			}
+		}
+		l.records++
+		l.tail += logFrameHeader + length
+	}
+	return l, nil
+}
+
+// Append frames payload, writes it at the log tail, and syncs the store
+// so the record survives a crash once Append returns.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("storage: empty log record")
+	}
+	if len(payload) > logMaxRecord {
+		return fmt.Errorf("storage: log record of %d bytes exceeds max %d", len(payload), logMaxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	framed := make([]byte, logFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(framed[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(framed[4:8], crc32.ChecksumIEEE(payload))
+	copy(framed[logFrameHeader:], payload)
+	if err := l.writeAt(l.tail, framed); err != nil {
+		return err
+	}
+	if err := l.store.Sync(); err != nil {
+		return err
+	}
+	l.records++
+	l.tail += int64(len(framed))
+	return nil
+}
+
+// Records returns the number of valid records in the log (recovered plus
+// appended).
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Size returns the log's valid length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Truncated reports whether recovery dropped a torn or corrupt tail.
+func (l *Log) Truncated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// Close closes the underlying store.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store.Close()
+}
+
+// readAt fills buf from the byte range starting at off, crossing page
+// boundaries as needed.
+func (l *Log) readAt(off int64, buf []byte) error {
+	ps := int64(l.store.PageSize())
+	page := make([]byte, ps)
+	for len(buf) > 0 {
+		id := PageID(off / ps)
+		at := int(off % ps)
+		if err := l.store.Read(id, page); err != nil {
+			return err
+		}
+		n := copy(buf, page[at:])
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// writeAt writes data at byte offset off, allocating pages past the
+// current end and read-modify-writing partially covered pages.
+func (l *Log) writeAt(off int64, data []byte) error {
+	ps := int64(l.store.PageSize())
+	needPages := int((off + int64(len(data)) + ps - 1) / ps)
+	for l.store.NumPages() < needPages {
+		if _, err := l.store.Alloc(); err != nil {
+			return err
+		}
+	}
+	page := make([]byte, ps)
+	for len(data) > 0 {
+		id := PageID(off / ps)
+		at := int(off % ps)
+		n := int(ps) - at
+		if n > len(data) {
+			n = len(data)
+		}
+		if at == 0 && n == int(ps) {
+			if err := l.store.Write(id, data[:n]); err != nil {
+				return err
+			}
+		} else {
+			if err := l.store.Read(id, page); err != nil {
+				return err
+			}
+			copy(page[at:], data[:n])
+			if err := l.store.Write(id, page); err != nil {
+				return err
+			}
+		}
+		data = data[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// zeroRange zeroes [from, to) and reports whether any nonzero byte was
+// overwritten (i.e. stale frame bytes were present).
+func (l *Log) zeroRange(from, to int64) bool {
+	if from >= to {
+		return false
+	}
+	ps := int64(l.store.PageSize())
+	page := make([]byte, ps)
+	dirty := false
+	for off := from; off < to; {
+		id := PageID(off / ps)
+		at := int(off % ps)
+		n := int(ps) - at
+		if int64(n) > to-off {
+			n = int(to - off)
+		}
+		if err := l.store.Read(id, page); err != nil {
+			return dirty
+		}
+		changed := false
+		for i := at; i < at+n; i++ {
+			if page[i] != 0 {
+				page[i] = 0
+				changed = true
+			}
+		}
+		if changed {
+			dirty = true
+			if err := l.store.Write(id, page); err != nil {
+				return dirty
+			}
+		}
+		off += int64(n)
+	}
+	return dirty
+}
+
+// ErrCorruptSnapshot is returned by ReadSnapshot when the file fails its
+// integrity check; callers fall back to a full WAL replay.
+var ErrCorruptSnapshot = errors.New("storage: corrupt snapshot")
+
+// snapshotMagic marks snapshot files: "CCSN" little-endian.
+const snapshotMagic = 0x4e534343
+
+// WriteSnapshot atomically writes payload to path with an integrity
+// header ([magic u32][length u32][crc32 u32]): the bytes go to a temp
+// file in the same directory, are fsynced, then renamed over path.
+func WriteSnapshot(path string, payload []byte) error {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot reads a snapshot written by WriteSnapshot, verifying the
+// magic, length, and checksum. A failed check returns ErrCorruptSnapshot.
+func ReadSnapshot(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 12 || binary.LittleEndian.Uint32(raw[0:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorruptSnapshot, path)
+	}
+	length := binary.LittleEndian.Uint32(raw[4:8])
+	payload := raw[12:]
+	if int(length) != len(payload) {
+		return nil, fmt.Errorf("%w: %s: length %d != payload %d", ErrCorruptSnapshot, path, length, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[8:12]) {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorruptSnapshot, path)
+	}
+	return payload, nil
+}
