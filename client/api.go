@@ -104,6 +104,38 @@ type Instance struct {
 // SolveRequest is the body of POST /v1/solve.
 type SolveRequest struct {
 	Instances []Instance `json:"instances"`
+	// Trace asks the server to attach the request's completed span tree
+	// to the response (equivalent to the trace=1 query parameter, which
+	// additionally covers the body-read phase because the server sees it
+	// before decoding).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// TraceSpan is one node of a solve request's span tree (trace=1): a
+// named phase with its duration, attributes, and child phases. Durations
+// are nanoseconds; the tree's structure (names, nesting, attribute keys)
+// is deterministic for a given request shape — only durations and
+// attribute values vary run to run.
+type TraceSpan struct {
+	Name  string         `json:"name"`
+	DurNS int64          `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Overlay marks a span whose duration accrued inside its sibling
+	// spans (e.g. netmetric-query time spent during flowgraph-build and
+	// augment): skip it when summing self-times, or the overlapped time
+	// counts twice.
+	Overlay  bool         `json:"overlay,omitempty"`
+	Children []*TraceSpan `json:"children,omitempty"`
+}
+
+// Histogram is a bounded latency distribution: ascending upper bounds in
+// seconds, one count per bucket plus a final overflow bucket
+// (len(Counts) == len(Bounds)+1), and the observation count and sum.
+type Histogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
 }
 
 // Pair is one (provider, customer) assignment of a matching. It carries
@@ -155,7 +187,13 @@ type Fleet struct {
 	CacheHits   int     `json:"cache_hits"`
 	WallNS      int64   `json:"wall_ns"`
 	SolveWallNS int64   `json:"solve_wall_ns"`
-	QueueWaitNS int64   `json:"queue_wait_ns"`
+	// QueueWaitNS is the mean per-instance queue wait (the mean of
+	// QueueWaitHist; it was a Σ before the histogram existed — the sum
+	// is QueueWaitHist.Sum seconds).
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	// QueueWaitHist is the distribution of per-instance queue waits in
+	// seconds.
+	QueueWaitHist *Histogram `json:"queue_wait_hist,omitempty"`
 	// Faults / IONS carry the paper's fault accounting for the request:
 	// buffer faults across the solved (non-cached) instances and the
 	// simulated I/O time they cost at 10 ms per fault, in nanoseconds.
@@ -170,6 +208,9 @@ type Fleet struct {
 type SolveResponse struct {
 	Results []InstanceResult `json:"results"`
 	Fleet   Fleet            `json:"fleet"`
+	// Trace is the request's completed span tree, present only when the
+	// request asked for it (trace=1 or SolveRequest.Trace).
+	Trace *TraceSpan `json:"trace,omitempty"`
 }
 
 // StreamEnvelope is one NDJSON line of a streamed solve response:
@@ -178,6 +219,8 @@ type SolveResponse struct {
 type StreamEnvelope struct {
 	Result *InstanceResult `json:"result,omitempty"`
 	Fleet  *Fleet          `json:"fleet,omitempty"`
+	// Trace rides on the final (fleet) envelope of a traced request.
+	Trace *TraceSpan `json:"trace,omitempty"`
 }
 
 // SessionRequest is the body of POST /v1/sessions: the provider set an

@@ -89,6 +89,38 @@ func TestIdenticalCandidatePasses(t *testing.T) {
 	}
 }
 
+// TestAugmentsColumnCompatibility: the Augments column (added with the
+// tracing work) must be invisible to the gate. A candidate run that
+// carries it gates cleanly against a committed baseline that predates
+// it, and legacy JSON without the field decodes to zero rather than
+// erroring.
+func TestAugmentsColumnCompatibility(t *testing.T) {
+	path := mutateLatest(t, func(rows []expr.Row) {
+		for i := range rows {
+			rows[i].Augments = 1000 + i
+		}
+	})
+	if msgs := gateFile(path, 0.15); len(msgs) > 0 {
+		t.Errorf("candidate with Augments column rejected against pre-column baseline: %v", msgs)
+	}
+
+	var legacy expr.Row
+	if err := json.Unmarshal([]byte(`{"Label":"alt","Algo":"ida","Size":10,"Cost":1.5}`), &legacy); err != nil {
+		t.Fatalf("legacy row without Augments failed to decode: %v", err)
+	}
+	if legacy.Augments != 0 {
+		t.Errorf("missing Augments decoded to %d, want 0", legacy.Augments)
+	}
+
+	var modern expr.Row
+	if err := json.Unmarshal([]byte(`{"Label":"alt","Algo":"ida","Augments":42}`), &modern); err != nil {
+		t.Fatalf("row with Augments failed to decode: %v", err)
+	}
+	if modern.Augments != 42 {
+		t.Errorf("Augments round-trip got %d, want 42", modern.Augments)
+	}
+}
+
 // TestInflatedCPUFails slows the candidate's alt and table rows 3x
 // relative to the run's own reference row — the machine-independent
 // shape regression the gate exists to catch.

@@ -17,7 +17,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,21 +45,24 @@ func main() {
 		ttl      = flag.Duration("session-ttl", 0, "idle-session TTL: checkpoint + unload (or drop, without -state-dir) sessions idle this long (0 = never)")
 		snapEvry = flag.Int("snapshot-every", server.DefaultSnapshotEvery, "checkpoint a persisted session's live set every N WAL events")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+		debug    = flag.String("debug-addr", "", "loopback address for /debug/pprof/* (e.g. 127.0.0.1:6060; \"\" = disabled)")
+		slowLog  = flag.Duration("slow-solve-threshold", 0, "log a structured warning for any solve slower than this (0 = disabled)")
 	)
 	flag.Parse()
 
 	engine := &cca.Engine{Workers: *workers, DefaultSolver: *solver, CacheSize: *cache}
 	srv, err := server.New(server.Config{
-		Engine:         engine,
-		MaxInFlight:    *inflight,
-		MaxSessions:    *sessions,
-		MaxInstances:   *maxInst,
-		MaxArrivals:    *maxArr,
-		DefaultTimeout: *timeout,
-		DataDir:        *dataDir,
-		StateDir:       *stateDir,
-		SessionTTL:     *ttl,
-		SnapshotEvery:  *snapEvry,
+		Engine:             engine,
+		MaxInFlight:        *inflight,
+		MaxSessions:        *sessions,
+		MaxInstances:       *maxInst,
+		MaxArrivals:        *maxArr,
+		DefaultTimeout:     *timeout,
+		DataDir:            *dataDir,
+		StateDir:           *stateDir,
+		SessionTTL:         *ttl,
+		SnapshotEvery:      *snapEvry,
+		SlowSolveThreshold: *slowLog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccad:", err)
@@ -65,6 +70,13 @@ func main() {
 	}
 	if n := srv.RecoveredSessions(); n > 0 {
 		fmt.Fprintf(os.Stderr, "ccad: recovered %d session(s) from %s\n", n, *stateDir)
+	}
+
+	if *debug != "" {
+		if err := startDebugServer(*debug); err != nil {
+			fmt.Fprintln(os.Stderr, "ccad:", err)
+			os.Exit(1)
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -108,4 +120,37 @@ func main() {
 	}
 	engine.Close()
 	fmt.Fprintln(os.Stderr, "ccad: drained, bye")
+}
+
+// startDebugServer serves /debug/pprof/* on a second listener. The
+// profiler exposes heap contents and CPU samples, so the address must
+// be loopback — the daemon refuses to put it on a routable interface.
+// The mux is explicit (never http.DefaultServeMux) so the debug port
+// carries pprof and nothing else.
+func startDebugServer(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-debug-addr %q: %v", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return fmt.Errorf("-debug-addr %q: must bind a loopback address (localhost or 127.0.0.1)", addr)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-debug-addr %q: %v", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "ccad: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(ln); err != nil {
+			fmt.Fprintln(os.Stderr, "ccad: debug server:", err)
+		}
+	}()
+	return nil
 }

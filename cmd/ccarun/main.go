@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/dataio"
 	"repro/internal/expr"
 	"repro/internal/geo/netmetric"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -51,6 +53,7 @@ the solvers observe the deadline between augmenting iterations`)
 		shardBand = flag.Float64("shardband", 0, `boundary band width for -algo sharded[:base], in data-space
 units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 		outPath = flag.String("out", "", "write the matching CSV here")
+		trace   = flag.Bool("trace", false, "print the solve's phase-span tree as JSON on stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nregistered solvers:\n", os.Args[0])
@@ -123,6 +126,11 @@ units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var root *obs.Span
+	if *trace {
+		root = obs.NewRoot("ccarun")
+		ctx = obs.WithSpan(ctx, root)
+	}
 	start := time.Now()
 	res, err := cca.SolveContext(ctx, *algo, providers, customers, &opts)
 	if err != nil {
@@ -163,6 +171,13 @@ units (0 = 5% of the space diagonal); wider = closer to exact, slower`)
 	}
 	fmt.Printf("wall time      %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("page faults    %d (simulated I/O %v)\n", io.Faults, io.IOTime())
+
+	if root != nil {
+		root.End()
+		tree, err := json.MarshalIndent(root.Tree(), "", "  ")
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "%s\n", tree)
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

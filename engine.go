@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/lru"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -86,6 +87,10 @@ type InstanceResult struct {
 // WorkerStats is one worker's share of a batch; see sched.WorkerStats.
 type WorkerStats = sched.WorkerStats
 
+// LatencyHistogram is a point-in-time latency distribution (bounds in
+// seconds); see obs.Snapshot.
+type LatencyHistogram = obs.Snapshot
+
 // FleetMetrics aggregates a batch run.
 type FleetMetrics struct {
 	Instances int           // instances submitted
@@ -94,7 +99,12 @@ type FleetMetrics struct {
 	Workers   int           // effective parallelism for this batch
 	Wall      time.Duration // batch wall-clock time
 	SolveWall time.Duration // Σ per-instance wall time (≥ Wall when parallel)
-	QueueWait time.Duration // Σ time instances waited for a worker
+	// QueueWait is the mean time an instance waited for a worker — the
+	// mean of QueueWaitHist. (It was a Σ before the histogram existed;
+	// the sum is QueueWaitHist.Sum seconds.)
+	QueueWait time.Duration
+	// QueueWaitHist is the distribution of per-instance queue waits.
+	QueueWaitHist LatencyHistogram
 	// CPUTime, IOTime, and Faults count work this batch actually
 	// performed: instances served from the result cache contribute to
 	// Pairs/Cost but not to these.
@@ -297,9 +307,10 @@ func (e *Engine) RunContext(ctx context.Context, instances []Instance) (*BatchRe
 	out.Fleet.Wall = time.Since(start)
 	out.Fleet.PerWorker = perWorkerStats(out.Results, out.Fleet.Wall)
 
+	qh := obs.NewHistogram(obs.LatencyBounds)
 	for _, r := range out.Results {
 		out.Fleet.SolveWall += r.Wall
-		out.Fleet.QueueWait += r.QueueWait
+		qh.ObserveDuration(r.QueueWait)
 		if r.Cached {
 			out.Fleet.CacheHits++
 		}
@@ -320,6 +331,8 @@ func (e *Engine) RunContext(ctx context.Context, instances []Instance) (*BatchRe
 		out.Fleet.IOTime += r.Result.Metrics.IOTime
 		out.Fleet.Faults += r.Result.Metrics.IO.Faults
 	}
+	out.Fleet.QueueWaitHist = qh.Snapshot()
+	out.Fleet.QueueWait = out.Fleet.QueueWaitHist.MeanDuration()
 	return out, nil
 }
 

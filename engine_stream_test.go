@@ -258,6 +258,23 @@ func TestFleetTelemetry(t *testing.T) {
 	if out.Fleet.QueueWait < 0 {
 		t.Errorf("negative queue wait %v", out.Fleet.QueueWait)
 	}
+	// QueueWait is the mean of the per-instance histogram: every
+	// instance is observed once, and the legacy field must equal the
+	// histogram's own mean exactly (it is computed from it).
+	qh := out.Fleet.QueueWaitHist
+	if got, want := qh.Count, uint64(len(batch)); got != want {
+		t.Errorf("QueueWaitHist.Count = %d, want %d", got, want)
+	}
+	if out.Fleet.QueueWait != qh.MeanDuration() {
+		t.Errorf("QueueWait %v != QueueWaitHist mean %v", out.Fleet.QueueWait, qh.MeanDuration())
+	}
+	var inBuckets uint64
+	for _, n := range qh.Counts {
+		inBuckets += n
+	}
+	if inBuckets != qh.Count {
+		t.Errorf("bucket counts sum to %d, want Count %d", inBuckets, qh.Count)
+	}
 	for i, r := range out.Results {
 		if r.Worker < 0 || r.Worker >= 2 {
 			t.Errorf("instance %d ran on worker %d", i, r.Worker)

@@ -60,6 +60,7 @@ type Metrics struct {
 	RangeSearches  int           // RIA (annular) range searches issued
 	NNRetrievals   int           // NIA/IDA nearest neighbors fetched
 	KeyUpdates     int           // IDA heap-key updates (full-provider α changes)
+	Augments       int           // augmenting iterations run (successful augmentations)
 	CPUTime        time.Duration // wall time spent computing
 	IO             storage.Stats // buffer activity during the run
 	IOTime         time.Duration // simulated I/O time (10 ms per fault)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/flowgraph"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/pqueue"
 	"repro/internal/rtree"
 )
@@ -216,8 +217,11 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 	start := time.Now()
 	io := snapshotIO(tree.Buffer())
 	m := Metrics{FullGraphEdges: len(providers) * tree.Size()}
+	span := obs.FromContext(opts.Ctx)
 
+	build := span.StartChild("flowgraph-build")
 	r, err := newIncRunner(providers, tree, opts, &m, ida)
+	build.End()
 	if err != nil {
 		return nil, err
 	}
@@ -229,12 +233,19 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 		return nil, err
 	}
 
-	done := 0
+	done, fastDone := 0, 0
+	aug := span.StartChild("augment")
+	defer func() {
+		aug.SetInt("iterations", int64(done))
+		aug.SetInt("fast_iterations", int64(fastDone))
+		aug.End()
+	}()
 	if ida && !opts.DisableTheorem2 {
 		done, err = r.fastPhase(gamma)
 		if err != nil {
 			return nil, err
 		}
+		fastDone = done
 	}
 	for ; done < gamma; done++ {
 		if err := opts.cancelled(); err != nil {
@@ -249,6 +260,7 @@ func runIncremental(providers []Provider, tree *rtree.Tree, opts Options, ida bo
 		}
 	}
 
+	m.Augments = done
 	m.CPUTime = time.Since(start)
 	m.IO = io.delta()
 	m.IOTime = m.IO.IOTime()

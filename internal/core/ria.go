@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -15,7 +16,9 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	opts = opts.withDefaults()
 	start := time.Now()
 	io := snapshotIO(tree.Buffer())
+	span := obs.FromContext(opts.Ctx)
 
+	build := span.StartChild("flowgraph-build")
 	g := newFlowGraph(providers, false, opts)
 	// Deferred so every exit — including mid-solve cancellation — hands
 	// the Dijkstra scratch back to the pool.
@@ -61,8 +64,15 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 	if err := addAnnulus(-1, T); err != nil {
 		return nil, err
 	}
+	build.End()
 	maxEdges := len(providers) * tree.Size()
-	for done := 0; done < gamma; {
+	done := 0
+	aug := span.StartChild("augment")
+	defer func() {
+		aug.SetInt("iterations", int64(done))
+		aug.End()
+	}()
+	for done < gamma {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
 		}
@@ -86,6 +96,7 @@ func RIA(providers []Provider, tree *rtree.Tree, opts Options) (*Result, error) 
 		T += opts.Theta
 	}
 
+	m.Augments = done
 	m.CPUTime = time.Since(start)
 	m.IO = io.delta()
 	m.IOTime = m.IO.IOTime()

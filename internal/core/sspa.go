@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -16,6 +17,8 @@ import (
 func SSPA(providers []Provider, customers []rtree.Item, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	span := obs.FromContext(opts.Ctx)
+	build := span.StartChild("flowgraph-build")
 	g := newFlowGraph(providers, true, opts)
 	// Deferred so every exit — including mid-solve cancellation — hands
 	// the Dijkstra scratch back to the pool.
@@ -26,10 +29,17 @@ func SSPA(providers []Provider, customers []rtree.Item, opts Options) (*Result, 
 		g.AddCustomer(c.Pt, cap, c.ID)
 		custTotal += cap
 	}
+	build.End()
 	gamma := g.TotalCapacity()
 	if custTotal < gamma {
 		gamma = custTotal
 	}
+	done := 0
+	aug := span.StartChild("augment")
+	defer func() {
+		aug.SetInt("iterations", int64(done))
+		aug.End()
+	}()
 	for i := 0; i < gamma; i++ {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
@@ -41,9 +51,11 @@ func SSPA(providers []Provider, customers []rtree.Item, opts Options) (*Result, 
 		if err := g.Augment(); err != nil {
 			break
 		}
+		done++
 	}
 	m := Metrics{
 		FullGraphEdges: len(providers) * len(customers),
+		Augments:       done,
 		CPUTime:        time.Since(start),
 	}
 	res := finish(g, m)

@@ -212,17 +212,18 @@ func (p Params) kHi() int {
 
 // Row is one measurement: an (experiment point, algorithm) pair.
 type Row struct {
-	Label   string // x-axis value, e.g. "k=80" or "UvsC"
-	Algo    string
-	Esub    int
-	Full    int
-	CPU     time.Duration
-	IO      time.Duration
-	Faults  int
-	Cost    float64
-	Quality float64 // Ψ/Ψopt for approximate methods (0 when unset)
-	Size    int
-	KeyUpd  int // IDA key updates
+	Label    string // x-axis value, e.g. "k=80" or "UvsC"
+	Algo     string
+	Esub     int
+	Full     int
+	CPU      time.Duration
+	IO       time.Duration
+	Faults   int
+	Cost     float64
+	Quality  float64 // Ψ/Ψopt for approximate methods (0 when unset)
+	Size     int
+	KeyUpd   int // IDA key updates
+	Augments int // augmenting iterations run (successful augmentations)
 	// QueryNS is the mean cold point-query latency of the row's distance
 	// backend, measured on a fresh metric separate from the solve (net
 	// sweep only; 0 elsewhere and in pre-measurement baselines).
@@ -246,15 +247,16 @@ func runExact(algo string, w *Workload, opts core.Options) (Row, error) {
 		return Row{}, fmt.Errorf("expr: %s: %w", algo, err)
 	}
 	return Row{
-		Algo:   algo,
-		Esub:   res.Metrics.SubgraphEdges,
-		Full:   res.Metrics.FullGraphEdges,
-		CPU:    res.Metrics.CPUTime,
-		IO:     res.Metrics.IOTime,
-		Faults: res.Metrics.IO.Faults,
-		Cost:   res.Cost,
-		Size:   res.Size,
-		KeyUpd: res.Metrics.KeyUpdates,
+		Algo:     algo,
+		Esub:     res.Metrics.SubgraphEdges,
+		Full:     res.Metrics.FullGraphEdges,
+		CPU:      res.Metrics.CPUTime,
+		IO:       res.Metrics.IOTime,
+		Faults:   res.Metrics.IO.Faults,
+		Cost:     res.Cost,
+		Size:     res.Size,
+		KeyUpd:   res.Metrics.KeyUpdates,
+		Augments: res.Metrics.Augments,
 	}, nil
 }
 

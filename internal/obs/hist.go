@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Default bucket boundary sets, all in seconds. These are deliberately
+// coarse (≤ 16 buckets) so a histogram is a few hundred bytes and an
+// Observe is one linear scan over a cacheline or two.
+var (
+	// LatencyBounds covers whole-solve and queue-wait latencies:
+	// 1 ms … 10 s, roughly ×2.5 steps.
+	LatencyBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// MicroBounds covers metric point queries: 1 µs … 10 ms.
+	MicroBounds = []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2}
+	// FsyncBounds covers WAL append+fsync: 10 µs … 1 s.
+	FsyncBounds = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1, 1}
+)
+
+// Histogram is a bounded, lock-free latency histogram: fixed ascending
+// upper bounds plus one overflow bucket, atomic counts, and an atomic
+// float64 sum. A nil *Histogram observes nothing, so callers can feed
+// an optional histogram unconditionally.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds (inclusive)
+	counts []atomic.Uint64 // len(bounds)+1; last bucket is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (a copy is taken). Panics on empty or unsorted bounds —
+// bucket layouts are compile-time decisions, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: NewHistogram needs at least one bound")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: NewHistogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value (same unit as the bounds; seconds for the
+// stock bound sets). Nil-safe; NaN is dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Snapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative) with len(Bounds)+1 entries, the last
+// being the overflow bucket. The zero value is a valid empty snapshot.
+type Snapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. Nil-safe (returns the
+// zero Snapshot). Concurrent Observes may straddle the copy; each
+// bucket is individually consistent, which is all Prometheus scrapes
+// need.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Bounds: h.bounds, // immutable after NewHistogram
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed value, or 0 when empty.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// MeanDuration returns the mean as a duration, assuming the histogram's
+// unit is seconds.
+func (s Snapshot) MeanDuration() time.Duration {
+	return roundSeconds(s.Mean())
+}
+
+// Cumulative returns the Prometheus-style cumulative bucket counts: one
+// entry per bound (observations ≤ bound); the final +Inf bucket is
+// Count itself.
+func (s Snapshot) Cumulative() []uint64 {
+	cum := make([]uint64, len(s.Bounds))
+	var run uint64
+	for i := range s.Bounds {
+		run += s.Counts[i]
+		cum[i] = run
+	}
+	return cum
+}

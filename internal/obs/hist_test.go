@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive upper edges: 0.01 lands in bucket 0.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-102.565) > 1e-9 {
+		t.Fatalf("sum = %g, want 102.565", s.Sum)
+	}
+	cum := s.Cumulative()
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 {
+		t.Fatalf("cumulative wrong: %v", cum)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(LatencyBounds)
+	if h.Snapshot().Mean() != 0 {
+		t.Fatal("empty histogram mean must be 0")
+	}
+	h.ObserveDuration(100 * time.Millisecond)
+	h.ObserveDuration(300 * time.Millisecond)
+	s := h.Snapshot()
+	if math.Abs(s.Mean()-0.2) > 1e-12 {
+		t.Fatalf("mean = %g, want 0.2", s.Mean())
+	}
+	if got := s.MeanDuration(); got != 200*time.Millisecond {
+		t.Fatalf("mean duration = %v, want 200ms", got)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.NaN())
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("NaN was recorded: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if math.Abs(s.Sum-0.003*workers*per) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", s.Sum, 0.003*workers*per)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestStockBoundsAscending(t *testing.T) {
+	// The stock bound sets must satisfy NewHistogram's contract.
+	for name, bounds := range map[string][]float64{
+		"LatencyBounds": LatencyBounds,
+		"MicroBounds":   MicroBounds,
+		"FsyncBounds":   FsyncBounds,
+	} {
+		h := NewHistogram(bounds)
+		if len(h.Snapshot().Counts) != len(bounds)+1 {
+			t.Fatalf("%s: wrong bucket count", name)
+		}
+	}
+}

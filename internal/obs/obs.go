@@ -1,0 +1,404 @@
+// Package obs is the repository's zero-dependency observability
+// substrate: context-propagated phase spans (a lightweight trace of one
+// solve's journey through server → engine → solver → core) and bounded
+// histograms for latency distributions.
+//
+// The design center is the disabled path. Tracing is opt-in per request
+// (trace=1 on /v1/solve, ccarun -trace); every other solve must pay
+// nothing. Start on a context with no span installed returns the same
+// context and a nil *Span without allocating, and every *Span method is
+// a no-op on nil — so instrumentation sites write straight-line code
+// with no "if tracing" branches, and the hot paths stay zero-alloc
+// (pinned by AllocsPerRun in obs_test.go).
+//
+// Typical use:
+//
+//	root := obs.NewRoot("server")
+//	ctx = obs.WithSpan(ctx, root)
+//	...
+//	ctx, span := obs.Start(ctx, "solve") // child of the context's span
+//	span.SetStr("solver", name)
+//	defer span.End()
+//	...
+//	root.End()
+//	json.Marshal(root.Tree())
+//
+// Spans are safe for concurrent children (a streamed batch fans out
+// goroutines that all append under the same root); attribute writes and
+// tree reads are mutex-guarded per span.
+package obs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// PointQuerySink names the root-span histogram sink the solver layer
+// feeds per-Dist metric-query latencies into (seconds). The server
+// installs its /metrics point-query histogram under this name on traced
+// solves' roots, which is why that histogram is populated only by
+// traced requests.
+const PointQuerySink = "point_query"
+
+// ctxKey is the context key the current span travels under.
+type ctxKey struct{}
+
+// Span is one timed phase of a trace. The zero value is not useful;
+// build roots with NewRoot and children with StartChild/Start. A nil
+// *Span is a valid no-op receiver for every method, so callers never
+// branch on "is tracing on".
+type Span struct {
+	name  string
+	start time.Time
+	root  *Span // the tree's root (self for a root span); never nil
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	overlay  bool // duration overlaps sibling spans; excluded from self-time accounting
+	attrs    []Attr
+	children []*Span
+	sinks    map[string]*Histogram // root only
+}
+
+// Attr is one span attribute. Exactly one of the value fields is
+// meaningful, selected by kind.
+type Attr struct {
+	Key  string
+	kind byte // 'i', 'f', 's'
+	i    int64
+	f    float64
+	s    string
+}
+
+// Value returns the attribute's value as an any (int64, float64, or
+// string).
+func (a Attr) Value() any {
+	switch a.kind {
+	case 'f':
+		return a.f
+	case 's':
+		return a.s
+	default:
+		return a.i
+	}
+}
+
+// NewRoot starts a new trace and returns its root span.
+func NewRoot(name string) *Span {
+	s := &Span{name: name, start: time.Now()}
+	s.root = s
+	return s
+}
+
+// WithSpan returns a context carrying s as the current span. A nil span
+// returns ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the context's current span, or nil when no tracer
+// is installed (or ctx is nil).
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start begins a child span of the context's current span and returns a
+// derived context carrying it. When no span is installed it returns ctx
+// unchanged and a nil span — the zero-alloc disabled path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return context.WithValue(ctx, ctxKey{}, child), child
+}
+
+// StartChild begins a child span without threading it through a
+// context. Nil-safe: a nil receiver returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now(), root: s.root}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// AddTimed attaches an already-measured child span with an explicit
+// duration — used for accumulated time that was not bracketed by a
+// single Start/End pair (e.g. the sum of thousands of metric point
+// queries). Nil-safe.
+func (s *Span) AddTimed(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, root: s.root, dur: d, ended: true}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// AddOverlay is AddTimed for time that was accumulated *inside* the
+// sibling spans — e.g. metric point queries issued from within the
+// flowgraph-build and augment phases. The overlay span reports where
+// that time went without claiming it a second time: self-time
+// accounting (SelfNS/SumSelfNS) skips overlay spans, so the tree still
+// telescopes to the root duration. Nil-safe.
+func (s *Span) AddOverlay(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, root: s.root, dur: d, ended: true, overlay: true}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End stamps the span's duration. Idempotent: the first End wins.
+// Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetInt sets an integer attribute. Nil-safe.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(Attr{Key: key, kind: 'i', i: v})
+}
+
+// SetFloat sets a float attribute. Nil-safe.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(Attr{Key: key, kind: 'f', f: v})
+}
+
+// SetStr sets a string attribute. Nil-safe.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(Attr{Key: key, kind: 's', s: v})
+}
+
+// set replaces an existing attribute with the same key, else appends.
+func (s *Span) set(a Attr) {
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == a.Key {
+			s.attrs[i] = a
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+	s.mu.Unlock()
+}
+
+// SetSink installs a named histogram on the span's root, where any
+// descendant can fetch it with Sink. Nil-safe (both receiver and h).
+func (s *Span) SetSink(name string, h *Histogram) {
+	if s == nil || h == nil {
+		return
+	}
+	r := s.root
+	r.mu.Lock()
+	if r.sinks == nil {
+		r.sinks = make(map[string]*Histogram)
+	}
+	r.sinks[name] = h
+	r.mu.Unlock()
+}
+
+// Sink returns the root's histogram registered under name, or nil.
+// Nil-safe, and a nil *Histogram observes nothing, so instrumentation
+// sites call Sink(...).Observe(v) unconditionally.
+func (s *Span) Sink(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	r := s.root
+	r.mu.Lock()
+	h := r.sinks[name]
+	r.mu.Unlock()
+	return h
+}
+
+// TraceNode is the JSON form of a completed span (sub)tree. Durations
+// are nanoseconds; attrs marshal as a sorted-key object (encoding/json
+// sorts map keys), so two traces of the same request shape are
+// structurally identical once dur_ns values are stripped.
+type TraceNode struct {
+	Name  string         `json:"name"`
+	DurNS int64          `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Overlay marks a span whose duration was accumulated inside its
+	// sibling spans (see AddOverlay); self-time accounting skips it.
+	Overlay  bool         `json:"overlay,omitempty"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// Tree snapshots the span subtree rooted at s. Call after End; a span
+// still running reports the duration observed so far. Nil-safe (returns
+// nil).
+func (s *Span) Tree() *TraceNode {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	n := &TraceNode{Name: s.name, DurNS: int64(s.dur), Overlay: s.overlay}
+	if !s.ended {
+		n.DurNS = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			n.Attrs[a.Key] = a.Value()
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.Tree())
+	}
+	return n
+}
+
+// SelfNS returns the node's self time: its duration minus the summed
+// durations of its children, clamped at zero (concurrent children can
+// overlap their parent). The whole-tree sum of self times telescopes to
+// the root duration when every phase ran sequentially.
+func (n *TraceNode) SelfNS() int64 {
+	if n == nil {
+		return 0
+	}
+	self := n.DurNS
+	for _, c := range n.Children {
+		if c.Overlay {
+			continue // its time already lives inside the other children
+		}
+		self -= c.DurNS
+	}
+	return max(self, 0)
+}
+
+// SumSelfNS returns the summed self times over the whole subtree.
+// Overlay spans are skipped — counting them would charge their time
+// twice (once here, once inside the sibling spans it overlaps).
+func (n *TraceNode) SumSelfNS() int64 {
+	if n == nil {
+		return 0
+	}
+	if n.Overlay {
+		return 0
+	}
+	total := n.SelfNS()
+	for _, c := range n.Children {
+		total += c.SumSelfNS()
+	}
+	return total
+}
+
+// Find returns the first node named name in a pre-order walk of the
+// subtree, or nil.
+func (n *TraceNode) Find(name string) *TraceNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Shape renders the subtree's structure — names, nesting, sorted
+// attribute keys — with every duration and attribute value excluded,
+// for deterministic-structure assertions.
+func (n *TraceNode) Shape() string {
+	if n == nil {
+		return ""
+	}
+	var b []byte
+	n.shape(&b, 0)
+	return string(b)
+}
+
+func (n *TraceNode) shape(b *[]byte, depth int) {
+	for i := 0; i < depth; i++ {
+		*b = append(*b, ' ', ' ')
+	}
+	*b = append(*b, n.Name...)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		// Insertion sort: the key sets are tiny and this keeps the
+		// package dependency-free of sort's reflection paths.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		*b = append(*b, '[')
+		for i, k := range keys {
+			if i > 0 {
+				*b = append(*b, ' ')
+			}
+			*b = append(*b, k...)
+		}
+		*b = append(*b, ']')
+	}
+	*b = append(*b, '\n')
+	for _, c := range n.Children {
+		c.shape(b, depth+1)
+	}
+}
+
+// max is a local helper (kept explicit: package obs must not grow
+// dependencies).
+func max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// roundSeconds converts a seconds value to a duration, rounding to the
+// nearest nanosecond. Shared by Snapshot.MeanDuration and callers that
+// need the identical conversion.
+func roundSeconds(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
+}

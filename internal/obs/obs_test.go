@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	root := NewRoot("server")
+	ctx := WithSpan(context.Background(), root)
+
+	ctx2, solve := Start(ctx, "solve")
+	solve.SetStr("solver", "sspa")
+	solve.SetInt("cached", 0)
+	if FromContext(ctx2) != solve {
+		t.Fatalf("Start did not install the child span in the context")
+	}
+
+	inner := solve.StartChild("augment")
+	inner.SetInt("iterations", 42)
+	inner.End()
+	solve.AddTimed("netmetric-query", 5*time.Millisecond).SetInt("calls", 7)
+	solve.End()
+	root.End()
+
+	tree := root.Tree()
+	if tree.Name != "server" || len(tree.Children) != 1 {
+		t.Fatalf("unexpected root: %+v", tree)
+	}
+	s := tree.Children[0]
+	if s.Name != "solve" || s.Attrs["solver"] != "sspa" {
+		t.Fatalf("unexpected solve node: %+v", s)
+	}
+	if got := tree.Find("augment"); got == nil || got.Attrs["iterations"] != int64(42) {
+		t.Fatalf("augment node wrong: %+v", got)
+	}
+	nm := tree.Find("netmetric-query")
+	if nm == nil || nm.DurNS != int64(5*time.Millisecond) || nm.Attrs["calls"] != int64(7) {
+		t.Fatalf("netmetric-query node wrong: %+v", nm)
+	}
+
+	want := "server\n  solve[cached solver]\n    augment[iterations]\n    netmetric-query[calls]\n"
+	if got := tree.Shape(); got != want {
+		t.Fatalf("shape mismatch:\n got %q\nwant %q", got, want)
+	}
+
+	// JSON round-trips with stable keys and no timestamps.
+	b, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"name":"server"`, `"dur_ns"`, `"solver":"sspa"`} {
+		if !strings.Contains(string(b), frag) {
+			t.Fatalf("marshaled tree missing %q: %s", frag, b)
+		}
+	}
+}
+
+func TestAttrOverwrite(t *testing.T) {
+	s := NewRoot("r")
+	s.SetInt("k", 1)
+	s.SetInt("k", 2)
+	s.SetStr("k", "three")
+	s.End()
+	n := s.Tree()
+	if len(n.Attrs) != 1 || n.Attrs["k"] != "three" {
+		t.Fatalf("attr overwrite failed: %+v", n.Attrs)
+	}
+}
+
+func TestSelfTimeTelescopes(t *testing.T) {
+	root := NewRoot("root")
+	c1 := root.StartChild("a")
+	time.Sleep(2 * time.Millisecond)
+	c1.End()
+	c2 := root.StartChild("b")
+	g := c2.StartChild("b1")
+	time.Sleep(2 * time.Millisecond)
+	g.End()
+	c2.End()
+	root.End()
+
+	tree := root.Tree()
+	sum := tree.SumSelfNS()
+	// Sequential children nested inside their parents: self times
+	// telescope to exactly the root duration.
+	if sum != tree.DurNS {
+		t.Fatalf("self-time sum %d != root duration %d", sum, tree.DurNS)
+	}
+}
+
+// TestOverlaySpans: an AddOverlay child reports time that accrued
+// inside its siblings, so it must not change the tree's self-time sum
+// — without the overlay flag that time would count twice.
+func TestOverlaySpans(t *testing.T) {
+	root := NewRoot("root")
+	c := root.StartChild("work")
+	time.Sleep(2 * time.Millisecond)
+	c.End()
+	root.End()
+	before := root.Tree().SumSelfNS()
+
+	// Claim half the work's time again as an overlay annotation.
+	ov := c.AddOverlay("queries", time.Millisecond)
+	ov.SetInt("calls", 100)
+	tree := root.Tree()
+	if got := tree.SumSelfNS(); got != before {
+		t.Fatalf("overlay child changed self-time sum: %d != %d", got, before)
+	}
+	q := tree.Find("queries")
+	if q == nil || !q.Overlay {
+		t.Fatalf("overlay span not marked in the tree: %+v", q)
+	}
+	if q.DurNS != int64(time.Millisecond) {
+		t.Errorf("overlay duration %d, want %d", q.DurNS, time.Millisecond)
+	}
+	var s *Span
+	if s.AddOverlay("x", 0) != nil {
+		t.Fatal("nil AddOverlay must return nil")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.End()
+	s.SetInt("k", 1)
+	s.SetFloat("k", 1)
+	s.SetStr("k", "v")
+	s.SetSink("h", NewHistogram(LatencyBounds))
+	if s.StartChild("c") != nil || s.AddTimed("c", 0) != nil || s.Sink("h") != nil || s.Tree() != nil {
+		t.Fatal("nil span methods must return nil")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) must be nil")
+	}
+	ctx := context.Background()
+	if WithSpan(ctx, nil) != ctx {
+		t.Fatal("WithSpan(ctx, nil) must return ctx unchanged")
+	}
+	ctx2, sp := Start(ctx, "x")
+	if ctx2 != ctx || sp != nil {
+		t.Fatal("Start without an installed span must be a no-op")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if snap := h.Snapshot(); snap.Count != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	var n *TraceNode
+	if n.SelfNS() != 0 || n.SumSelfNS() != 0 || n.Find("x") != nil || n.Shape() != "" {
+		t.Fatal("nil TraceNode helpers must be no-ops")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	root := NewRoot("r")
+	h := NewHistogram(LatencyBounds)
+	root.SetSink("pq", h)
+	child := root.StartChild("c")
+	grand := child.StartChild("g")
+	if grand.Sink("pq") != h {
+		t.Fatal("descendant did not see root sink")
+	}
+	if grand.Sink("missing") != nil {
+		t.Fatal("missing sink must be nil")
+	}
+	grand.Sink("pq").Observe(0.003)
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("sink observe lost: count=%d", got)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	root := NewRoot("r")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("w")
+			c.SetInt("n", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Tree().Children); got != 16 {
+		t.Fatalf("lost children under concurrency: %d", got)
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the tentpole guarantee: with no
+// tracer installed, the instrumentation sites allocate nothing.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := Start(ctx, "solve")
+		sp.SetStr("solver", "sspa")
+		sp.SetInt("cached", 0)
+		sp.StartChild("augment").End()
+		sp.AddTimed("netmetric-query", time.Millisecond)
+		h.Observe(0.001)
+		sp.End()
+		_ = ctx2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledPathAllocCeiling documents the enabled-path budget: a
+// root + one attributed child span, ended and threaded through a
+// context, stays within 12 allocations. (Measured ~9: root span,
+// two context values, child span, two children-slice growths, attr
+// slice, and End bookkeeping; the ceiling leaves slack for runtime
+// variation, not for regressions.)
+func TestEnabledPathAllocCeiling(t *testing.T) {
+	const ceiling = 12
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := NewRoot("r")
+		ctx := WithSpan(context.Background(), root)
+		_, sp := Start(ctx, "solve")
+		sp.SetInt("cached", 0)
+		sp.End()
+		root.End()
+	})
+	if allocs > ceiling {
+		t.Fatalf("enabled tracer path allocated %.1f/op, ceiling %d", allocs, ceiling)
+	}
+}
+
+func BenchmarkStartEndDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "solve")
+		sp.SetInt("cached", 0)
+		sp.End()
+	}
+}
+
+func BenchmarkStartEndEnabled(b *testing.B) {
+	root := NewRoot("r")
+	ctx := WithSpan(context.Background(), root)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "solve")
+		sp.SetInt("cached", 0)
+		sp.End()
+	}
+	root.End()
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBounds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}

@@ -5,12 +5,22 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	cca "repro"
 	"repro/client"
 	"repro/internal/geo/netmetric"
+	"repro/internal/obs"
 )
+
+// maxSolveFamilies bounds the family label's cardinality on
+// ccad_solve_latency_seconds. A family is a solver name up to the
+// first ':' ("sharded:ida" → "sharded"), so the registry keeps this
+// naturally small; past the cap, new families fold into "other"
+// rather than letting a hostile client mint unbounded series.
+const maxSolveFamilies = 16
 
 // counters is the server's own telemetry: per-endpoint request counts,
 // admission sheds, and fleet-level solve aggregates across every
@@ -45,10 +55,49 @@ type counters struct {
 	sessionsRecovered uint64 // replayed from WALs at boot
 	sessionsReloaded  uint64 // lazily replayed on touch after a TTL unload
 	sessionSnapshots  uint64 // checkpoint snapshots written
+
+	// Latency histograms. The obs.Histogram is internally atomic, so
+	// observations never take c.mu; only the solveLatency map (family →
+	// histogram, created on demand) is guarded by it.
+	solveLatency  map[string]*obs.Histogram // per solver family solve wall time
+	queueWaitHist *obs.Histogram            // per-instance scheduler queue wait
+	pointQuery    *obs.Histogram            // network-metric point-query latency (fed by traced solves)
+	walFsync      *obs.Histogram            // session WAL append+fsync latency
 }
 
 func (c *counters) init() {
 	c.requests = make(map[string]map[int]uint64)
+	c.solveLatency = make(map[string]*obs.Histogram)
+	c.queueWaitHist = obs.NewHistogram(obs.LatencyBounds)
+	c.pointQuery = obs.NewHistogram(obs.MicroBounds)
+	c.walFsync = obs.NewHistogram(obs.FsyncBounds)
+}
+
+// solveFamily returns the latency histogram for a solver's family —
+// the name before the first ':' — creating it on first use and folding
+// overflow past maxSolveFamilies into "other".
+func (c *counters) solveFamily(solver string) *obs.Histogram {
+	fam := solver
+	if i := strings.IndexByte(fam, ':'); i >= 0 {
+		fam = fam[:i]
+	}
+	if fam == "" {
+		fam = "unknown"
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.solveLatency[fam]; ok {
+		return h
+	}
+	if len(c.solveLatency) >= maxSolveFamilies {
+		fam = "other"
+		if h, ok := c.solveLatency[fam]; ok {
+			return h
+		}
+	}
+	h := obs.NewHistogram(obs.LatencyBounds)
+	c.solveLatency[fam] = h
+	return h
 }
 
 func (c *counters) recordRequest(handler string, code int) {
@@ -68,7 +117,18 @@ func (c *counters) recordRejected() {
 	c.mu.Unlock()
 }
 
-func (c *counters) recordSolve(fleet client.Fleet) {
+func (c *counters) recordSolve(fleet client.Fleet, raw []cca.InstanceResult) {
+	// Per-instance observations come from the raw results: the fleet's
+	// QueueWaitNS is a mean now that QueueWaitHist exists, so the Σ
+	// counter must be rebuilt from the originals.
+	var queueSum time.Duration
+	for _, r := range raw {
+		queueSum += r.QueueWait
+		c.queueWaitHist.Observe(r.QueueWait.Seconds())
+		if r.Err == nil {
+			c.solveFamily(r.Solver).Observe(r.Wall.Seconds())
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.instances += uint64(fleet.Instances)
@@ -78,7 +138,7 @@ func (c *counters) recordSolve(fleet client.Fleet) {
 	c.cacheHits += uint64(fleet.CacheHits)
 	c.cost += fleet.Cost
 	c.solveWall += time.Duration(fleet.SolveWallNS)
-	c.queueWait += time.Duration(fleet.QueueWaitNS)
+	c.queueWait += queueSum
 	c.faults += uint64(fleet.Faults)
 	c.ioTime += time.Duration(fleet.IONS)
 }
@@ -155,6 +215,31 @@ func (p promWriter) val(name string, v float64) {
 
 func (p promWriter) labeled(name, labels string, v float64) {
 	fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// histogram emits one Prometheus histogram series set: cumulative
+// _bucket lines (le is an inclusive upper bound, matching
+// obs.Histogram), the mandatory le="+Inf" bucket, then _sum and
+// _count. labels carries extra label pairs ("" for none).
+func (p promWriter) histogram(name, labels string, s obs.Snapshot) {
+	withLe := func(le string) string {
+		if labels == "" {
+			return `le="` + le + `"`
+		}
+		return labels + `,le="` + le + `"`
+	}
+	cum := s.Cumulative()
+	for i, b := range s.Bounds {
+		p.labeled(name+"_bucket", withLe(strconv.FormatFloat(b, 'g', -1, 64)), float64(cum[i]))
+	}
+	p.labeled(name+"_bucket", withLe("+Inf"), float64(s.Count))
+	if labels == "" {
+		p.val(name+"_sum", s.Sum)
+		p.val(name+"_count", float64(s.Count))
+		return
+	}
+	p.labeled(name+"_sum", labels, s.Sum)
+	p.labeled(name+"_count", labels, float64(s.Count))
 }
 
 // handleMetrics serves GET /metrics: one scrape stitches together the
@@ -275,6 +360,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.val("ccad_solve_page_faults_total", float64(faults))
 	p.header("ccad_solve_io_seconds_total", "Simulated I/O time across non-cached solves (10 ms per fault, the paper's cost model).", "counter")
 	p.val("ccad_solve_io_seconds_total", ioTime.Seconds())
+
+	// Latency histograms. The map needs the lock; the histograms are
+	// atomic and snapshot lock-free.
+	s.stats.mu.Lock()
+	fams := make([]string, 0, len(s.stats.solveLatency))
+	for f := range s.stats.solveLatency {
+		fams = append(fams, f)
+	}
+	famHists := make(map[string]*obs.Histogram, len(fams))
+	for _, f := range fams {
+		famHists[f] = s.stats.solveLatency[f]
+	}
+	s.stats.mu.Unlock()
+	sort.Strings(fams)
+	p.header("ccad_solve_latency_seconds", "Per-instance solve wall time, by solver family (the solver name before the first ':').", "histogram")
+	for _, f := range fams {
+		p.histogram("ccad_solve_latency_seconds", fmt.Sprintf("family=%q", f), famHists[f].Snapshot())
+	}
+	p.header("ccad_solve_queue_wait_seconds", "Per-instance time waiting for an engine worker.", "histogram")
+	p.histogram("ccad_solve_queue_wait_seconds", "", s.stats.queueWaitHist.Snapshot())
+	p.header("ccad_netmetric_point_query_seconds", "Road-network point-query (Dist) latency. Fed only by traced solves (trace=1), which time every metric call.", "histogram")
+	p.histogram("ccad_netmetric_point_query_seconds", "", s.stats.pointQuery.Snapshot())
+	p.header("ccad_wal_fsync_seconds", "Session WAL append+fsync latency per logged event.", "histogram")
+	p.histogram("ccad_wal_fsync_seconds", "", s.stats.walFsync.Snapshot())
 
 	// Sessions.
 	p.header("ccad_sessions_active", "Live online sessions.", "gauge")

@@ -181,9 +181,11 @@ func (s *Server) logEvent(sess *session, ev walEvent) error {
 	if err != nil {
 		return fmt.Errorf("session persistence: %w", err)
 	}
+	begin := time.Now()
 	if err := sess.log.Append(data); err != nil {
 		return fmt.Errorf("session persistence: %w", err)
 	}
+	s.stats.walFsync.ObserveDuration(time.Since(begin))
 	switch ev.Op {
 	case walOpArrive:
 		if sess.live == nil {

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,12 @@ type Config struct {
 	// integrity checkpoints, not the recovery path — recovery always
 	// replays the full WAL for byte-identical matchings.
 	SnapshotEvery int
+	// SlowSolveThreshold emits a structured slog warning for every solve
+	// instance whose wall time reaches it; 0 disables the slow-solve log.
+	SlowSolveThreshold time.Duration
+	// Logger receives the server's structured logs (slow solves); nil
+	// selects slog.Default().
+	Logger *slog.Logger
 }
 
 // Defaults for Config's bounds.
@@ -108,6 +115,7 @@ type Server struct {
 	engine *cca.Engine
 	mux    *http.ServeMux
 	start  time.Time
+	logger *slog.Logger
 
 	// sem is the admission semaphore: one slot per in-flight solve
 	// request (len(sem) is the inflight gauge). readSem is the wider
@@ -194,11 +202,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SnapshotEvery < 1 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	s := &Server{
 		cfg:        cfg,
 		engine:     cfg.Engine,
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
+		logger:     cfg.Logger,
 		sem:        make(chan struct{}, cfg.MaxInFlight),
 		readSem:    make(chan struct{}, 2*cfg.MaxInFlight),
 		netMetrics: make(map[netKey]*netEntry),

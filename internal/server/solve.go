@@ -13,6 +13,7 @@ import (
 
 	cca "repro"
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -30,7 +31,8 @@ type prepared struct {
 	err     error  // conversion failure; the instance never runs
 	label   string
 	solver  string
-	dataset string // named dataset, for per-dataset fault accounting
+	dataset string    // named dataset, for per-dataset fault accounting
+	span    *obs.Span // per-instance trace span (nil when untraced)
 }
 
 // handleSolve serves POST /v1/solve: decode instances, admit, submit
@@ -52,6 +54,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer releaseRead()
+
+	// Tracing is opt-in per request: ?trace=1 (known before the body) or
+	// "trace": true in the body (known only after decode, so that path
+	// cannot cover the read phase). The root span carries the server's
+	// point-query histogram as a sink, so traced solves feed
+	// ccad_netmetric_point_query_seconds.
+	ctx := r.Context()
+	var root *obs.Span
+	startTrace := func() {
+		root = obs.NewRoot("server")
+		root.SetSink(obs.PointQuerySink, s.stats.pointQuery)
+		ctx = obs.WithSpan(ctx, root)
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		startTrace()
+	}
+
+	read := root.StartChild("read")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSolveBody))
 	if err != nil {
 		var mbe *http.MaxBytesError
@@ -63,10 +83,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
 		return
 	}
-	instances, err := decodeSolveRequest(body)
+	instances, bodyTrace, err := decodeSolveRequest(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	read.SetInt("bytes", int64(len(body)))
+	read.SetInt("instances", int64(len(instances)))
+	read.End()
+	if bodyTrace && root == nil {
+		startTrace()
 	}
 	if len(instances) > s.cfg.MaxInstances {
 		writeError(w, http.StatusBadRequest,
@@ -98,7 +124,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	preps := make([]*prepared, len(instances))
 	for i, wi := range instances {
-		preps[i] = s.prepare(r.Context(), i, wi)
+		preps[i] = s.prepare(ctx, i, wi)
 	}
 	defer func() {
 		for _, p := range preps {
@@ -117,18 +143,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if p.err != nil {
 			continue
 		}
-		ctx := r.Context()
+		// Each instance gets its own child span; the engine's queue and
+		// solve spans nest under it via the submitted context.
+		ictx, ispan := obs.Start(ctx, "instance")
+		ispan.SetInt("index", int64(i))
+		p.span = ispan
 		if d := s.timeoutFor(instances[i]); d > 0 {
-			ctx, p.cancel = context.WithTimeout(ctx, d)
+			ictx, p.cancel = context.WithTimeout(ictx, d)
 		}
-		chans[i] = s.engine.Submit(ctx, p.in)
+		chans[i] = s.engine.Submit(ictx, p.in)
 	}
 
 	if stream == "" {
-		s.solveBuffered(w, preps, chans, start)
+		s.solveBuffered(w, preps, chans, start, root)
 		return
 	}
-	s.solveStreamed(w, stream, preps, chans, start)
+	s.solveStreamed(w, stream, preps, chans, start, root)
 }
 
 // acceptsMedia reports whether an Accept header names mediatype,
@@ -147,26 +177,27 @@ func acceptsMedia(accept, mediatype string) bool {
 }
 
 // decodeSolveRequest accepts {"instances": [...]} or a single bare
-// instance object.
-func decodeSolveRequest(body []byte) ([]client.Instance, error) {
+// instance object. The second return is the body's "trace" flag (the
+// wrapped form only — a bare instance has no request-level fields).
+func decodeSolveRequest(body []byte) ([]client.Instance, bool, error) {
 	var req client.SolveRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, fmt.Errorf("bad request body: %v", err)
+		return nil, false, fmt.Errorf("bad request body: %v", err)
 	}
 	if req.Instances == nil {
 		var one client.Instance
 		if err := json.Unmarshal(body, &one); err != nil {
-			return nil, fmt.Errorf("bad request body: %v", err)
+			return nil, false, fmt.Errorf("bad request body: %v", err)
 		}
 		if len(one.Providers) == 0 {
-			return nil, fmt.Errorf(`empty request: send {"instances": [...]} or a single instance with providers`)
+			return nil, false, fmt.Errorf(`empty request: send {"instances": [...]} or a single instance with providers`)
 		}
 		req.Instances = []client.Instance{one}
 	}
 	if len(req.Instances) == 0 {
-		return nil, fmt.Errorf("no instances")
+		return nil, false, fmt.Errorf("no instances")
 	}
-	return req.Instances, nil
+	return req.Instances, req.Trace, nil
 }
 
 // timeoutFor resolves an instance's solve deadline.
@@ -300,6 +331,7 @@ func collect(p *prepared, ch <-chan cca.InstanceResult, i int) cca.InstanceResul
 		return cca.InstanceResult{Index: i, Label: p.label, Solver: p.solver, Worker: -1, Err: p.err}
 	}
 	r := <-ch
+	p.span.End()
 	// Submit stamps every direct submission with index 0; results are
 	// identified request-relative here.
 	r.Index = i
@@ -325,24 +357,55 @@ func (s *Server) recordDatasetIO(p *prepared, r cca.InstanceResult) {
 	s.datasets.recordIO(p.dataset, r.Result.Metrics.IO)
 }
 
+// noteSlow logs a structured warning for any solve whose wall time
+// crossed the -slow-solve-threshold (0 disables).
+func (s *Server) noteSlow(r cca.InstanceResult) {
+	if s.cfg.SlowSolveThreshold <= 0 || r.Wall < s.cfg.SlowSolveThreshold {
+		return
+	}
+	args := []any{
+		"index", r.Index,
+		"solver", r.Solver,
+		"wall", r.Wall,
+		"queue_wait", r.QueueWait,
+		"cached", r.Cached,
+		"worker", r.Worker,
+	}
+	if r.Label != "" {
+		args = append(args, "label", r.Label)
+	}
+	if r.Err != nil {
+		args = append(args, "error", r.Err.Error())
+	} else if r.Result != nil {
+		args = append(args, "pairs", r.Result.Size, "faults", r.Result.Metrics.IO.Faults)
+	}
+	s.logger.Warn("slow solve", args...)
+}
+
 // solveBuffered collects every result in submission order and writes
 // one SolveResponse.
-func (s *Server) solveBuffered(w http.ResponseWriter, preps []*prepared, chans []<-chan cca.InstanceResult, start time.Time) {
+func (s *Server) solveBuffered(w http.ResponseWriter, preps []*prepared, chans []<-chan cca.InstanceResult, start time.Time, root *obs.Span) {
 	results := make([]client.InstanceResult, len(preps))
 	raw := make([]cca.InstanceResult, len(preps))
 	for i, p := range preps {
 		raw[i] = collect(p, chans[i], i)
 		s.recordDatasetIO(p, raw[i])
+		s.noteSlow(raw[i])
 		results[i] = wireResult(raw[i])
 	}
 	fleet := fleetOf(raw, time.Since(start))
-	s.stats.recordSolve(fleet)
-	writeJSON(w, http.StatusOK, client.SolveResponse{Results: results, Fleet: fleet})
+	s.stats.recordSolve(fleet, raw)
+	resp := client.SolveResponse{Results: results, Fleet: fleet}
+	if root != nil {
+		root.End()
+		resp.Trace = wireTrace(root.Tree())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // solveStreamed delivers results in completion order as NDJSON lines or
 // SSE events, ending with the fleet aggregate.
-func (s *Server) solveStreamed(w http.ResponseWriter, mode string, preps []*prepared, chans []<-chan cca.InstanceResult, start time.Time) {
+func (s *Server) solveStreamed(w http.ResponseWriter, mode string, preps []*prepared, chans []<-chan cca.InstanceResult, start time.Time, root *obs.Span) {
 	switch mode {
 	case "ndjson":
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -375,6 +438,7 @@ func (s *Server) solveStreamed(w http.ResponseWriter, mode string, preps []*prep
 			defer wg.Done()
 			r := collect(p, chans[i], i)
 			s.recordDatasetIO(p, r)
+			s.noteSlow(r)
 			merged <- r
 		}(i, p)
 	}
@@ -390,8 +454,13 @@ func (s *Server) solveStreamed(w http.ResponseWriter, mode string, preps []*prep
 		emit(client.StreamEnvelope{Result: &wr}, "result")
 	}
 	fleet := fleetOf(raw, time.Since(start))
-	s.stats.recordSolve(fleet)
-	emit(client.StreamEnvelope{Fleet: &fleet}, "fleet")
+	s.stats.recordSolve(fleet, raw)
+	env := client.StreamEnvelope{Fleet: &fleet}
+	if root != nil {
+		root.End()
+		env.Trace = wireTrace(root.Tree())
+	}
+	emit(env, "fleet")
 }
 
 // wireResult converts an engine result to the wire form.
@@ -435,13 +504,26 @@ func wirePairs(pairs []cca.Pair) []client.Pair {
 	return out
 }
 
+// wireTrace converts a completed span tree to the wire form.
+func wireTrace(n *obs.TraceNode) *client.TraceSpan {
+	if n == nil {
+		return nil
+	}
+	out := &client.TraceSpan{Name: n.Name, DurNS: n.DurNS, Attrs: n.Attrs, Overlay: n.Overlay}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, wireTrace(c))
+	}
+	return out
+}
+
 // fleetOf aggregates a request's raw results (the server-side analogue
 // of Engine.RunContext's fleet accounting).
 func fleetOf(raw []cca.InstanceResult, wall time.Duration) client.Fleet {
 	f := client.Fleet{Instances: len(raw), WallNS: int64(wall)}
+	qh := obs.NewHistogram(obs.LatencyBounds)
 	for _, r := range raw {
 		f.SolveWallNS += int64(r.Wall)
-		f.QueueWaitNS += int64(r.QueueWait)
+		qh.ObserveDuration(r.QueueWait)
 		if r.Cached {
 			f.CacheHits++
 		}
@@ -459,5 +541,8 @@ func fleetOf(raw []cca.InstanceResult, wall time.Duration) client.Fleet {
 			f.IONS += int64(r.Result.Metrics.IOTime)
 		}
 	}
+	snap := qh.Snapshot()
+	f.QueueWaitNS = int64(snap.MeanDuration())
+	f.QueueWaitHist = &client.Histogram{Bounds: snap.Bounds, Counts: snap.Counts, Count: snap.Count, Sum: snap.Sum}
 	return f
 }

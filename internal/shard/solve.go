@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -112,12 +113,17 @@ func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, c
 		return &core.Result{Metrics: core.Metrics{FullGraphEdges: len(providers) * len(items)}}, stats, nil
 	}
 
+	span := obs.FromContext(ctx)
+	pspan := span.StartChild("partition")
 	plan := Partition(providers, itemPoints(items), k, band, space)
 	k = len(plan.Regions)
 	stats.Shards = k
 	for r := range plan.Regions {
 		stats.BoundaryCustomers += len(plan.Regions[r].Boundary)
 	}
+	pspan.SetInt("regions", int64(k))
+	pspan.SetFloat("band", plan.Band)
+	pspan.End()
 
 	// Phase 1: solve every region concurrently. Results land in
 	// region-indexed slots, so the merge below never depends on
@@ -130,6 +136,13 @@ func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, c
 	shardStart := time.Now()
 	runRegion := func(ctx context.Context, r int) {
 		reg := &plan.Regions[r]
+		// The span starts here — inside the (possibly pooled) task — so
+		// its duration is the region's actual run, not its queue wait.
+		rspan := obs.FromContext(ctx).StartChild("region-solve")
+		rspan.SetInt("region", int64(r))
+		rspan.SetInt("providers", int64(len(reg.Providers)))
+		rspan.SetInt("customers", int64(len(reg.Owned)))
+		defer rspan.End()
 		if len(reg.Owned) == 0 {
 			results[r] = &core.Result{}
 			return
@@ -142,7 +155,7 @@ func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, c
 		for i, j := range reg.Owned {
 			subItems[i] = items[j]
 		}
-		results[r], errs[r] = solveSub(ctx, cfg.Base, subProviders, subItems, subOpts)
+		results[r], errs[r] = solveSub(obs.WithSpan(ctx, rspan), cfg.Base, subProviders, subItems, subOpts)
 	}
 	if workers := poolWorkers(cfg.Workers, k); workers > 1 {
 		pool := sharedPool()
@@ -234,6 +247,9 @@ func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, c
 	stats.ReconcileCustomers = len(reconcile)
 
 	reconStart := time.Now()
+	cspan := span.StartChild("reconcile")
+	cspan.SetInt("customers", int64(len(reconcile)))
+	cspan.SetInt("released", int64(len(released)))
 	if residualTotal > 0 && len(reconcile) > 0 {
 		subProviders := make([]core.Provider, 0, len(providers))
 		provMap := make([]int, 0, len(providers))
@@ -248,8 +264,9 @@ func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, c
 		for i, j := range reconcile {
 			subItems[i] = items[j]
 		}
-		res, err := solveSub(ctx, cfg.Base, subProviders, subItems, subOpts)
+		res, err := solveSub(obs.WithSpan(ctx, cspan), cfg.Base, subProviders, subItems, subOpts)
 		if err != nil {
+			cspan.End()
 			return nil, stats, err
 		}
 		addMetrics(&agg, &res.Metrics)
@@ -259,6 +276,8 @@ func Solve(ctx context.Context, providers []core.Provider, items []rtree.Item, c
 			kept = append(kept, global)
 		}
 	}
+	cspan.SetInt("providers", int64(stats.ReconcileProviders))
+	cspan.End()
 	stats.ReconcileWall = time.Since(reconStart)
 
 	cost := 0.0
@@ -327,6 +346,7 @@ func addMetrics(dst, src *core.Metrics) {
 	dst.RangeSearches += src.RangeSearches
 	dst.NNRetrievals += src.NNRetrievals
 	dst.KeyUpdates += src.KeyUpdates
+	dst.Augments += src.Augments
 	dst.IO.Hits += src.IO.Hits
 	dst.IO.Faults += src.IO.Faults
 	dst.IO.PhysicalReads += src.IO.PhysicalReads

@@ -46,9 +46,13 @@ func newSharded(base string) (Solver, error) {
 	}
 	name := shardedPrefix + ":" + bs.Name()
 	doc := "spatially sharded " + bs.Name() + " (concurrent region solves + exact boundary reconciliation)"
-	return New(name, Heuristic, doc, func(providers []core.Provider, data Dataset, opts Options) (*Result, error) {
+	fs := New(name, Heuristic, doc, func(providers []core.Provider, data Dataset, opts Options) (*Result, error) {
 		return solveSharded(bs, providers, data, opts)
-	}), nil
+	}).(*funcSolver)
+	// Delegating solver: metric query timing belongs to the region and
+	// reconcile sub-solves it runs, not to this outer span.
+	fs.meta = true
+	return fs, nil
 }
 
 // solveSharded adapts one registry solve to shard.Solve: below the

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/geo/netmetric"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -153,6 +154,11 @@ type funcSolver struct {
 	kind Kind
 	doc  string
 	fn   SolveFunc
+	// meta marks delegating solvers (the sharded family) whose fn runs
+	// other registered solvers underneath. A meta solver must not wrap
+	// the metric for query timing: the leaf solves it delegates to do,
+	// and double-wrapping would count every region's Dist calls twice.
+	meta bool
 }
 
 func (s *funcSolver) Name() string { return s.name }
@@ -166,7 +172,14 @@ func (s *funcSolver) Solve(ctx context.Context, providers []core.Provider, data 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if opts.Core.Ctx == nil {
+	ctx, span := obs.Start(ctx, "solver")
+	span.SetStr("name", s.name)
+	defer span.End()
+	// Hand the (possibly span-carrying) context to the algorithm loops.
+	// When the caller pre-set Core.Ctx (the sharded meta-solver does, to
+	// the same ctx it passes here) the span-derived context supersedes
+	// it so child spans nest under this solver.
+	if opts.Core.Ctx == nil || span != nil {
 		opts.Core.Ctx = ctx
 	}
 	// Bulk distance precompute: every solver evaluates P×C metric
@@ -176,6 +189,37 @@ func (s *funcSolver) Solve(ctx context.Context, providers []core.Provider, data 
 	// solve) pass through. Inner sharded sub-solves arrive with the
 	// *netmetric.Table already in place and skip the rewrap.
 	buildWall := withDistTable(providers, data, &opts)
+	if buildWall > 0 {
+		span.AddTimed("table-build", buildWall)
+	}
+	if span != nil && !s.meta && !geo.IsEuclidean(opts.Core.Metric) {
+		// Traced leaf solve over a non-Euclidean metric: time every Dist
+		// call. Wrapping happens after the engine computed its cache key
+		// and after withDistTable's type assertion, so neither sees the
+		// wrapper; meta solvers skip it (their leaf sub-solves wrap).
+		statted, hasStats := opts.Core.Metric.(interface{ Stats() netmetric.CacheStats })
+		var before netmetric.CacheStats
+		if hasStats {
+			before = statted.Stats()
+		}
+		wrapped, acc := timeMetric(opts.Core.Metric, span.Sink(obs.PointQuerySink))
+		opts.Core.Metric = wrapped
+		defer func() {
+			// Overlay: point-query time accrues inside the flowgraph-build
+			// and augment phases, so it annotates rather than telescopes.
+			q := span.AddOverlay("netmetric-query", time.Duration(acc.ns.Load()))
+			q.SetInt("calls", acc.calls.Load())
+			if hasStats {
+				after := statted.Stats()
+				q.SetInt("snap_hits", int64(after.SnapHits-before.SnapHits))
+				q.SetInt("snap_misses", int64(after.SnapMisses-before.SnapMisses))
+				q.SetInt("node_hits", int64(after.NodeHits-before.NodeHits))
+				q.SetInt("node_misses", int64(after.NodeMisses-before.NodeMisses))
+				q.SetInt("pair_hits", int64(after.PairHits-before.PairHits))
+				q.SetInt("pair_misses", int64(after.PairMisses-before.PairMisses))
+			}
+		}()
+	}
 	res, err := s.fn(providers, data, opts)
 	if err != nil {
 		return nil, err
@@ -184,6 +228,10 @@ func (s *funcSolver) Solve(ctx context.Context, providers []core.Provider, data 
 	// to the solve's CPU time so the precompute cannot hide from the
 	// benchmarks it is supposed to win.
 	res.Metrics.CPUTime += buildWall
+	if span != nil {
+		span.SetInt("faults", int64(res.Metrics.IO.Faults))
+		span.SetInt("io_ns", int64(res.Metrics.IOTime))
+	}
 	res.Solver = s.name
 	res.Kind = s.kind
 	return res, nil

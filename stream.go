@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/solver"
 )
@@ -99,13 +100,21 @@ func (e *Engine) submit(ctx context.Context, in Instance, idx int) <-chan Instan
 		deliver(base)
 		return ch
 	}
+	// The queue span covers scheduler dispatch: Submit → a worker picks
+	// the task up. It ends inside the task, stamped with the lane and the
+	// worker that ran it.
+	qspan := obs.FromContext(ctx).StartChild("queue")
 	err := pool.Submit(ctx, in.Lane, func(ctx context.Context, info sched.TaskInfo) {
+		qspan.SetStr("lane", info.Lane.String())
+		qspan.SetInt("worker", int64(info.Worker))
+		qspan.End()
 		r := e.runOne(ctx, idx, in)
 		r.Worker = info.Worker
 		r.QueueWait = info.QueueWait
 		deliver(r)
 	})
 	if err != nil {
+		qspan.End()
 		base.Err = ErrEngineClosed
 		deliver(base)
 	}
@@ -120,6 +129,9 @@ func (e *Engine) runOne(ctx context.Context, idx int, in Instance) (out Instance
 	begin := time.Now()
 	defer func() { out.Wall = time.Since(begin) }()
 
+	ctx, span := obs.Start(ctx, "solve")
+	defer span.End()
+
 	// A queued instance whose context died before a worker picked it up
 	// reports the cancellation without touching the dataset.
 	if err := ctx.Err(); err != nil {
@@ -132,15 +144,18 @@ func (e *Engine) runOne(ctx context.Context, idx int, in Instance) (out Instance
 		return out
 	}
 	out.Solver = s.Name() // canonicalize aliases/casing ("SM" → "greedy")
+	span.SetStr("solver", out.Solver)
 
 	key, cacheable := e.resultKeyFor(s.Name(), in)
 	if cacheable {
 		if res, ok := e.cache.Get(key); ok {
 			out.Result = res
 			out.Cached = true
+			span.SetInt("cached", 1)
 			return out
 		}
 	}
+	span.SetInt("cached", 0)
 
 	// Inject the engine's shared bulk distance table, after the cache key
 	// is fixed (the key must identify the underlying network metric, not
